@@ -1,0 +1,47 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation. By default the grids run in *quick* mode (reduced allocation
+volume, one seed, a representative workload subset) so the whole
+directory finishes in minutes; set ``REPRO_FULL=1`` for the full grids
+(every workload, paper-size volumes, two seeds).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.experiment import ExperimentRunner
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Allocation-volume scale factor for quick mode.
+QUICK_SCALE = 0.35
+#: Representative subset covering the paper's archetypes: small-heavy
+#: (sunflow), medium-heavy (pmd, jython), large-heavy (xalan), big live
+#: set (hsqldb), generic (antlr).
+QUICK_WORKLOADS = ("antlr", "hsqldb", "jython", "pmd", "sunflow", "xalan")
+QUICK_HEAPS = (1.5, 2.0, 3.0)
+
+
+def experiment_scale() -> float:
+    return 1.0 if FULL else QUICK_SCALE
+
+
+def experiment_workloads():
+    return None if FULL else QUICK_WORKLOADS  # None -> full suite
+
+
+def experiment_heaps():
+    return (1.25, 1.5, 2.0, 3.0, 4.0, 6.0) if FULL else QUICK_HEAPS
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    seeds = (0, 1) if FULL else (0,)
+    return ExperimentRunner(seeds=seeds)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

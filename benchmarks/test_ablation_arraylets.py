@@ -1,0 +1,56 @@
+"""Ablation (paper section 3.3.3): discontiguous arrays vs perfect pages.
+
+The paper notes that managed runtimes could split large arrays into
+arraylets (Sartor et al.'s Z-rays) instead of demanding perfect pages —
+the software-only alternative to clustering hardware. This bench pits
+the two strategies against each other on the large-object-heavy xalan
+across failure rates, also sweeping the arraylet size.
+"""
+
+from dataclasses import replace
+
+from conftest import experiment_scale, run_once
+
+from repro.faults.generator import FailureModel
+from repro.sim.machine import RunConfig, run_benchmark
+
+
+def run_sweep():
+    scale = experiment_scale()
+    base = RunConfig(workload="xalan", heap_multiplier=2.0, scale=scale)
+    plain = run_benchmark(base)
+    rows = {}
+    for rate in (0.0, 0.10, 0.25):
+        for arraylets in (False, True):
+            config = replace(
+                base,
+                failure_model=FailureModel(rate=rate),
+                arraylets=arraylets,
+            )
+            result = run_benchmark(config)
+            key = (rate, "arraylets" if arraylets else "LOS")
+            rows[key] = (
+                result.time_units / plain.time_units if result.completed else None,
+                result.borrowed_pages,
+            )
+    return rows
+
+
+def test_ablation_arraylets(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    print()
+    print("xalan: LOS + perfect pages vs discontiguous arrays")
+    print("==================================================")
+    for (rate, mode), (ratio, borrowed) in sorted(rows.items()):
+        shown = f"{ratio:.3f}" if ratio is not None else "DNF"
+        print(f"  {rate:4.0%} failures, {mode:9s}: time {shown:>6s}, "
+              f"{borrowed:5d} pages borrowed")
+    # Arraylets must eliminate most DRAM borrowing under failures
+    # (their whole point: no perfect pages needed for arrays).
+    _, los_borrow = rows[(0.10, "LOS")]
+    _, arraylet_borrow = rows[(0.10, "arraylets")]
+    assert arraylet_borrow < los_borrow
+    # And their access tax shows even without failures (Sartor: <13 %).
+    clean_ratio, _ = rows[(0.0, "arraylets")]
+    if clean_ratio is not None:
+        assert 1.0 < clean_ratio < 1.15

@@ -1,0 +1,55 @@
+"""Ablation (paper section 3.3.3): OS failure-map granularity.
+
+The failure map may use coarser granularities that trade less metadata
+storage for less available memory as failures accrue. This bench
+quantifies that trade-off at a 10 % failure rate.
+"""
+
+from dataclasses import replace
+
+from conftest import experiment_scale, experiment_workloads, run_once
+
+from repro.faults.generator import FailureModel
+from repro.hardware.geometry import Geometry
+from repro.sim.machine import RunConfig
+
+
+def run_sweep(runner):
+    workloads = experiment_workloads() or ()
+    if not workloads:
+        from repro.workloads.dacapo import analysis_suite
+
+        workloads = tuple(spec.name for spec in analysis_suite())
+    scale = experiment_scale()
+    baseline = RunConfig(workload="antlr", heap_multiplier=2.0, scale=scale)
+    geometry = Geometry()
+    rows = {}
+    for granularity_lines in (1, 4, 16, 64):  # 64 B .. whole 4 KB page
+        config = replace(
+            baseline,
+            failure_model=FailureModel(
+                rate=0.10,
+                hw_region_pages=2,
+                map_granularity_lines=granularity_lines,
+            ),
+        )
+        value = runner.normalized_geomean(list(workloads), config, baseline)
+        rows[granularity_lines * geometry.pcm_line] = value
+    return rows
+
+
+def test_ablation_map_granularity(runner, benchmark):
+    rows = run_once(benchmark, run_sweep, runner)
+    print()
+    print("OS failure-map granularity at 10% failures + 2CL")
+    print("================================================")
+    for granularity_bytes, value in sorted(rows.items()):
+        shown = f"{value:.3f}" if value is not None else "DNF"
+        print(f"  {granularity_bytes:5d} B map granularity: {shown}")
+    values = [v for v in rows.values() if v is not None]
+    assert values, "at least one granularity must complete"
+    fine = rows[64]
+    coarse = rows[4096]
+    # Coarser maps lose more memory, so they can only be worse.
+    if fine is not None and coarse is not None:
+        assert coarse >= fine * 0.98

@@ -1,0 +1,53 @@
+"""Ablation (paper section 7.3): clustering-region size.
+
+The paper argues two-page regions are the sweet spot: one-page regions
+never produce whole perfect pages, while larger regions "quickly
+degenerate to the two-page case" and add redirection-map pressure. This
+bench sweeps the region size at a fixed failure rate.
+"""
+
+from dataclasses import replace
+
+from conftest import FULL, experiment_scale, experiment_workloads, run_once
+
+from repro.faults.generator import FailureModel
+from repro.sim.machine import RunConfig
+
+
+def run_sweep(runner):
+    workloads = experiment_workloads() or ()
+    if not workloads:
+        from repro.workloads.dacapo import analysis_suite
+
+        workloads = tuple(spec.name for spec in analysis_suite())
+    scale = experiment_scale()
+    baseline = RunConfig(workload="antlr", heap_multiplier=2.0, scale=scale)
+    rows = {}
+    for region_pages in (1, 2, 4):
+        for rate in (0.25, 0.50):
+            config = replace(
+                baseline,
+                failure_model=FailureModel(rate=rate, hw_region_pages=region_pages),
+            )
+            value = runner.normalized_geomean(list(workloads), config, baseline)
+            rows[(region_pages, rate)] = value
+    return rows
+
+
+def test_ablation_region_size(runner, benchmark):
+    rows = run_once(benchmark, run_sweep, runner)
+    print()
+    print("Clustering-region size (geomean overhead vs unmodified S-IX)")
+    print("=============================================================")
+    for (region_pages, rate), value in sorted(rows.items()):
+        shown = f"{value:.3f}" if value is not None else "DNF"
+        print(f"  {region_pages}-page regions at {rate:.0%} failures: {shown}")
+    # Two-page clustering should beat one-page at 50% (perfect pages).
+    one, two = rows[(1, 0.50)], rows[(2, 0.50)]
+    if one is not None and two is not None:
+        assert two <= one * 1.03
+    # Four-page regions should be roughly comparable to two-page
+    # (the paper: larger regions degenerate to the two-page case).
+    four = rows[(4, 0.50)]
+    if two is not None and four is not None:
+        assert abs(four - two) < 0.15

@@ -1,0 +1,30 @@
+"""Figure 10: per-benchmark results for 1- and 2-page clustering."""
+
+from conftest import FULL, experiment_scale, run_once
+
+from repro.sim.experiments import figure10
+
+
+def test_fig10_per_benchmark(runner, benchmark):
+    workloads = None if FULL else ("hsqldb", "jython", "pmd", "sunflow", "xalan")
+    result = run_once(
+        benchmark, figure10, runner, workloads=workloads, scale=experiment_scale()
+    )
+    print()
+    print(result.render())
+    rows = {label: values for label, values in result.rows}
+    # Columns: 1CL 10/25/50, then 2CL 10/25/50.
+    for name, values in rows.items():
+        one_cl_50, two_cl_50 = values[2], values[5]
+        if one_cl_50 is not None and two_cl_50 is not None:
+            assert two_cl_50 <= one_cl_50 * 1.05, (
+                f"{name}: 2-page clustering should not lose to 1-page"
+            )
+    # The paper singles out pmd and jython as sensitive at the 50%
+    # two-page threshold: they should show the largest 2CL-50% overheads
+    # among the medium-heavy workloads.
+    if "pmd" in rows and "sunflow" in rows:
+        pmd = rows["pmd"][5]
+        sunflow = rows["sunflow"][5]
+        if pmd is not None and sunflow is not None:
+            assert pmd >= sunflow * 0.95

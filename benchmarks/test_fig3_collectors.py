@@ -1,0 +1,32 @@
+"""Figure 3: MS vs Immix vs Sticky variants across heap sizes."""
+
+from conftest import experiment_heaps, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure3
+
+
+def test_fig3_collectors(runner, benchmark):
+    result = run_once(
+        benchmark,
+        figure3,
+        runner,
+        heap_multipliers=experiment_heaps(),
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(result.render())
+    # Paper shape: the Immix family outperforms the mark-sweep family,
+    # most visibly in constrained heaps.
+    smallest = min(x for x, _ in result.series["IX"])
+    by_name = {name: dict(points) for name, points in result.series.items()}
+    ms = by_name["MS"][smallest]
+    ix = by_name["IX"][smallest]
+    if ms is not None and ix is not None:
+        assert ix <= ms, "Immix should not lose to mark-sweep in small heaps"
+    # At the largest heap every collector is close to the baseline.
+    largest = max(x for x, _ in result.series["IX"])
+    for name, points in by_name.items():
+        value = points[largest]
+        if value is not None:
+            assert value < 1.10, f"{name} unexpectedly slow at a large heap"

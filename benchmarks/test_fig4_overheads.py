@@ -1,0 +1,26 @@
+"""Figure 4: per-benchmark overhead of failure-aware S-IX + 2-page
+clustering at 0/10/25/50 % failures, normalized to unmodified S-IX."""
+
+from conftest import FULL, experiment_scale, run_once
+
+from repro.sim.experiments import figure4
+
+
+def test_fig4_overheads(runner, benchmark):
+    workloads = None if FULL else (
+        "antlr", "hsqldb", "jython", "lusearch", "pmd", "sunflow", "xalan"
+    )
+    result = run_once(
+        benchmark, figure4, runner, workloads=workloads, scale=experiment_scale()
+    )
+    print()
+    print(result.render())
+    rows = dict((label, values) for label, values in result.rows)
+    geomeans = rows["geomean*"]
+    # Paper headline: no overhead without failures; ~4 % at 10 %,
+    # ~12 % at 50 % with two-page clustering.
+    assert geomeans[0] is not None and abs(geomeans[0] - 1.0) < 0.02
+    assert geomeans[1] is not None and geomeans[1] < 1.12
+    assert geomeans[3] is not None and geomeans[3] < 1.30
+    # Overheads grow with the failure rate.
+    assert geomeans[3] > geomeans[0]

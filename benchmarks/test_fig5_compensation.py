@@ -1,0 +1,29 @@
+"""Figure 5: compensation vs fragmentation at 10 % failures."""
+
+from conftest import experiment_heaps, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure5
+
+
+def test_fig5_compensation(runner, benchmark):
+    result = run_once(
+        benchmark,
+        figure5,
+        runner,
+        heap_multipliers=experiment_heaps(),
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(result.render())
+    by_name = {name: dict(points) for name, points in result.series.items()}
+    heaps = sorted({x for pts in result.series.values() for x, _ in pts})
+    mid = heaps[len(heaps) // 2]
+    base = by_name["S-IXPCM (no failures)"][mid]
+    no_comp = by_name["S-IXPCM 10% NoComp"][mid]
+    comp = by_name["S-IXPCM 10%"][mid]
+    clustered = by_name["S-IXPCM 10% 2CL"][mid]
+    # Paper shape: NoComp worst (less working memory), compensation
+    # helps, clustering helps further, none beats the no-failure run.
+    if None not in (base, no_comp, comp, clustered):
+        assert no_comp >= comp >= clustered >= base * 0.98

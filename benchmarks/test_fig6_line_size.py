@@ -1,0 +1,31 @@
+"""Figure 6: the effect of Immix line size, with and without failures."""
+
+from conftest import experiment_heaps, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure6
+
+
+def test_fig6_line_size(runner, benchmark):
+    fig_a, fig_b = run_once(
+        benchmark,
+        figure6,
+        runner,
+        heap_multipliers=experiment_heaps(),
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(fig_a.render())
+    print()
+    print(fig_b.render())
+    # Paper shape (6b): with 10 % failures and no clustering, false
+    # failures punish the 256 B line hardest.
+    heaps = sorted({x for pts in fig_b.series.values() for x, _ in pts})
+    for heap in heaps[1:]:
+        l64 = dict(fig_b.series["S-IXPCM L64 10%"]).get(heap)
+        l256 = dict(fig_b.series["S-IXPCM L256 10%"]).get(heap)
+        if l64 is not None and l256 is not None:
+            assert l256 >= l64 * 0.98, (
+                f"L256 should suffer at least as much as L64 under "
+                f"failures (heap {heap})"
+            )

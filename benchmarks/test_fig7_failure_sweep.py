@@ -1,0 +1,32 @@
+"""Figure 7: failure-rate sweep at a fixed 2x heap, per line size."""
+
+from conftest import FULL, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure7
+
+
+def test_fig7_failure_sweep(runner, benchmark):
+    rates = (
+        (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50)
+        if FULL
+        else (0.0, 0.10, 0.25, 0.50)
+    )
+    result = run_once(
+        benchmark,
+        figure7,
+        runner,
+        rates=rates,
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(result.render())
+    # Paper shape: at rate 0 every line size is near 1.0; as the rate
+    # rises, larger lines suffer false failures first and curves may
+    # terminate (DNF), exactly like the paper's truncated lines.
+    for name, points in result.series.items():
+        at_zero = dict(points)[0.0]
+        assert at_zero is not None and at_zero < 1.06, name
+    l256 = dict(result.series["S-IXPCM L256"])
+    if l256[0.10] is not None:
+        assert l256[0.10] > 1.05, "L256 should visibly degrade at 10%"

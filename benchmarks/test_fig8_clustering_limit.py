@@ -1,0 +1,38 @@
+"""Figure 8: the failure-clustering granularity limit study."""
+
+from conftest import FULL, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure8
+
+
+def test_fig8_clustering_limit(runner, benchmark):
+    granularities = (
+        (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+        if FULL
+        else (64, 256, 1024, 4096, 16384)
+    )
+    result = run_once(
+        benchmark,
+        figure8,
+        runner,
+        granularities=granularities,
+        rates=(0.10, 0.25, 0.50),
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(result.render())
+    # Paper shape: coarser failure clusters dramatically reduce the
+    # penalty; the fine-granularity end of the 25 %/50 % curves may not
+    # run at all (the paper's curves start at 128 B for that reason).
+    for name, points in result.series.items():
+        values = [v for _, v in points if v is not None]
+        assert values, f"no clustering granularity completed for {name}"
+        finest_done = min(x for x, v in points if v is not None)
+        coarsest = max(x for x, _ in points)
+        fine_v = dict(points)[finest_done]
+        coarse_v = dict(points)[coarsest]
+        assert coarse_v <= fine_v * 1.02, (
+            f"{name}: coarser clustering should not be slower "
+            f"({fine_v:.3f} -> {coarse_v:.3f})"
+        )

@@ -1,0 +1,41 @@
+"""Figure 9: proposed clustering hardware — performance and demand."""
+
+from conftest import FULL, experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import figure9
+
+
+def test_fig9_hw_clustering(runner, benchmark):
+    line_sizes = (64, 128, 256) if FULL else (64, 256)
+    fig_a, fig_b = run_once(
+        benchmark,
+        figure9,
+        runner,
+        line_sizes=line_sizes,
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(fig_a.render())
+    print()
+    print(fig_b.render())
+    # Paper shape, performance: at every failure rate, hardware
+    # clustering beats no clustering, and two-page clustering is at
+    # least as good as one-page.
+    perf = {name: dict(points) for name, points in fig_a.series.items()}
+    for rate in (0.10, 0.50):
+        unclustered = perf["L256"].get(rate)
+        one_page = perf["L256 1CL"].get(rate)
+        two_page = perf["L256 2CL"].get(rate)
+        assert two_page is not None, "2CL must complete everywhere"
+        if one_page is not None:
+            assert two_page <= one_page * 1.03
+        if unclustered is not None:
+            assert two_page <= unclustered * 1.02
+    # Paper shape, demand: clustering greatly reduces perfect-page
+    # borrowing (fig 9b reports demand; our borrow counts mirror it).
+    demand = {name: dict(points) for name, points in fig_b.series.items()}
+    unclustered_demand = demand["L256"].get(0.10)
+    clustered_demand = demand["L256 2CL"].get(0.10)
+    if unclustered_demand is not None and clustered_demand is not None:
+        assert clustered_demand <= unclustered_demand

@@ -1,0 +1,35 @@
+"""Abstract / section 8 headline numbers.
+
+Paper: zero overhead with no failures; without clustering hardware
+~17 % at 10 % failed lines (and failure-to-run at 25 %+ with 256 B
+lines); with two-page clustering 3.9 % at 10 % and 12.4 % at 50 %.
+"""
+
+from conftest import experiment_scale, experiment_workloads, run_once
+
+from repro.sim.experiments import headline
+
+
+def test_headline(runner, benchmark):
+    result = run_once(
+        benchmark,
+        headline,
+        runner,
+        workloads=experiment_workloads(),
+        scale=experiment_scale(),
+    )
+    print()
+    print(result.render())
+    rows = {label: values[0] for label, values in result.rows}
+    no_failures = rows["no failures, failure-aware"]
+    assert no_failures is not None and abs(no_failures - 1.0) < 0.02, (
+        "failure awareness must be free when nothing fails"
+    )
+    clustered_10 = rows["10% + 2-page clustering"]
+    clustered_50 = rows["50% + 2-page clustering"]
+    assert clustered_10 is not None and clustered_10 < 1.10
+    assert clustered_50 is not None and clustered_50 < 1.25
+    unclustered_10 = rows["10% unclustered"]
+    if unclustered_10 is not None:
+        # Clustering hardware must pay for itself.
+        assert clustered_10 < unclustered_10

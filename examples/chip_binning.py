@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Chip binning: turning defective memory into product tiers.
+
+Reproduces the paper's section 7.4 argument in numbers: fabrication
+variation leaves many chips with born-dead cells; discarding everything
+beyond a tiny defect budget wrecks yield, while a failure-aware stack
+makes chips with arbitrary defect counts usable — so manufacturers can
+bin them (premium / standard / value / salvage) the way CPUs are binned
+by frequency.
+
+Run:  python examples/chip_binning.py
+"""
+
+from repro.sim.binning import evaluate_bins, render_binning_report, sample_population
+
+
+def main() -> None:
+    population = sample_population(n_chips=2000, median_density=0.004, seed=7)
+    reports = evaluate_bins(population, workload="antlr", scale=0.35)
+    print(render_binning_report(population, reports))
+    print()
+    recovered = population.yield_fraction() - population.traditional_yield()
+    print(f"Failure awareness recovers {recovered:.1%} of the production run "
+          "that would otherwise be scrapped,")
+    print("at the per-bin overheads shown above "
+          "(measured with two-page clustering at a 2x heap).")
+
+
+if __name__ == "__main__":
+    main()

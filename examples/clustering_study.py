@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Failure clustering: why concentrated failures beat uniform ones.
+
+Reproduces the paper's central architectural argument in miniature:
+the same number of failed lines costs wildly different amounts of
+performance depending on *where* the failures sit. Uniformly spread
+failures (what wear leveling produces) fragment the heap and poison
+many 256 B Immix lines with false failures; clustered failures leave
+large contiguous runs and whole perfect pages.
+
+Runs one medium-object-heavy workload (pmd) at 25 % failed lines under
+several placements of those failures, and prints what each does to the
+memory manager.
+
+Run:  python examples/clustering_study.py
+"""
+
+from dataclasses import replace
+
+from repro.faults.generator import FailureModel
+from repro.sim.machine import RunConfig, run_benchmark
+
+
+def main() -> None:
+    base = RunConfig(workload="pmd", heap_multiplier=2.0, scale=0.5, seed=1)
+    baseline = run_benchmark(base)
+
+    variants = [
+        ("no failures", FailureModel()),
+        ("25% uniform (wear-leveled memory)", FailureModel(rate=0.25)),
+        ("25% pre-clustered at 1 KB", FailureModel(rate=0.25, cluster_bytes=1024)),
+        ("25% pre-clustered at 4 KB", FailureModel(rate=0.25, cluster_bytes=4096)),
+        ("25% + 1-page clustering hw", FailureModel(rate=0.25, hw_region_pages=1)),
+        ("25% + 2-page clustering hw", FailureModel(rate=0.25, hw_region_pages=2)),
+    ]
+
+    print("pmd at a 2x heap, 25% of PCM lines failed, by failure placement\n")
+    print(f"{'configuration':36s} {'time':>7s} {'GCs':>5s} "
+          f"{'hole skips':>11s} {'perfect demand':>15s}")
+    print("-" * 80)
+    for label, model in variants:
+        result = run_benchmark(replace(base, failure_model=model))
+        if not result.completed:
+            print(f"{label:36s} {'DNF':>7s}   — {result.failure_note[:40]}")
+            continue
+        ratio = result.time_units / baseline.time_units
+        print(f"{label:36s} {ratio:6.3f}x {result.stats['collections']:>5d} "
+              f"{result.stats['run_advances']:>11d} "
+              f"{result.perfect_page_demand:>15d}")
+
+    print(
+        "\nThe uniform distribution — exactly what wear leveling strives for —\n"
+        "is the most expensive placement; hardware clustering at two-page\n"
+        "regions makes 25% failed memory nearly free. This is the paper's\n"
+        "'wear leveling considered harmful' result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Heap-size study: the GC space-time trade-off under failures.
+
+Sweeps heap sizes for one benchmark under three configurations and
+prints the classic time-vs-space curves the paper's figure 5 plots:
+failures shift the curve up and to the right; compensation and
+clustering push it back down.
+
+Run:  python examples/heap_size_study.py
+"""
+
+from dataclasses import replace
+
+from repro.faults.generator import FailureModel
+from repro.sim.machine import RunConfig, run_benchmark
+
+
+def main() -> None:
+    heaps = (1.25, 1.5, 2.0, 3.0, 4.0)
+    configs = {
+        "no failures": dict(failure_model=FailureModel(), compensate=True),
+        "10% failed, no compensation": dict(
+            failure_model=FailureModel(rate=0.10), compensate=False
+        ),
+        "10% failed, compensated": dict(
+            failure_model=FailureModel(rate=0.10), compensate=True
+        ),
+        "10% failed, compensated + 2CL": dict(
+            failure_model=FailureModel(rate=0.10, hw_region_pages=2),
+            compensate=True,
+        ),
+    }
+
+    base = RunConfig(workload="antlr", heap_multiplier=max(heaps), scale=0.5)
+    reference = run_benchmark(base).time_units
+
+    print("antlr: normalized time vs heap size (reference: no failures "
+          f"at {max(heaps):g}x min heap)\n")
+    header = f"{'heap (x min)':>12s}" + "".join(f"{name[:26]:>28s}" for name in configs)
+    print(header)
+    print("-" * len(header))
+    for heap in heaps:
+        row = f"{heap:>12g}"
+        for name, overrides in configs.items():
+            result = run_benchmark(replace(base, heap_multiplier=heap, **overrides))
+            if result.completed:
+                row += f"{result.time_units / reference:>28.3f}"
+            else:
+                row += f"{'DNF':>28s}"
+        print(row)
+
+    print(
+        "\nReading the columns left to right at any heap size shows the\n"
+        "paper's figure-5 decomposition: losing working memory (no\n"
+        "compensation) hurts most in small heaps; compensation removes\n"
+        "that but leaves fragmentation and false failures; clustering\n"
+        "hardware removes most of the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: a failure-aware VM on memory with 10 % failed lines.
+
+Builds the full cooperative stack — an aged PCM module, the
+failure-aware OS, and a Sticky Immix VM — then allocates a small object
+graph and prints where things landed and what the heap looks like.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FailureModel, VirtualMachine, VmConfig
+from repro.units import KiB, MiB
+
+
+def main() -> None:
+    # A 2 MB heap on PCM where 10 % of 64 B lines have already failed,
+    # with the paper's two-page failure-clustering hardware enabled.
+    config = VmConfig(
+        heap_bytes=2 * MiB,
+        collector="sticky-immix",
+        failure_model=FailureModel(rate=0.10, hw_region_pages=2),
+        seed=42,
+    )
+    vm = VirtualMachine(config)
+    print("Built a VM on", vm.injector.describe())
+    print(
+        f"Heap: {vm.supply.total_pages} pages "
+        f"({vm.supply.free_perfect} perfect / {vm.supply.free_imperfect} imperfect)"
+    )
+
+    # Allocate a little object graph: a rooted list of records, each
+    # holding a payload buffer. The collector steps around failed lines
+    # automatically; pinned objects will never be moved.
+    head = vm.alloc(64)
+    vm.add_root(head)
+    for i in range(2000):
+        record = vm.alloc(48)
+        vm.add_ref(head, record)
+        payload = vm.alloc(500, pinned=(i % 500 == 0))
+        vm.add_ref(record, payload)
+    big = vm.alloc(24 * KiB)  # goes to the large object space
+    vm.add_ref(head, big)
+
+    print(f"\nAllocated {vm.stats.objects_allocated} objects "
+          f"({vm.stats.bytes_allocated / KiB:.0f} KB)")
+    print(f"Large object placed on perfect pages at {big.address:#x}")
+
+    # Force a full collection and look at the heap.
+    vm.collect(force_full=True)
+    census = vm.heap_census()
+    print(f"\nAfter a full collection: {census['blocks']} blocks in use, "
+          f"{census['failed_lines']} failed Immix lines being stepped around,")
+    print(f"{census['free_lines']} free lines, {census['los_objects']} large objects, "
+          f"{census['free_pages']} free pages")
+    print(f"Collections so far: {vm.stats.collections} "
+          f"({vm.stats.full_collections} full)")
+    print(f"Simulated execution time: {vm.simulated_ms():.1f} ms")
+
+    # The same allocations on a failure-free heap cost the same — the
+    # paper's "no overhead in the absence of failures".
+    print("\nPerfect-page demand:", vm.supply.accountant.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Cost-model calibration helper.
+
+Runs the full workload suite across the paper's key configurations once,
+caches the raw event counters, and evaluates candidate cost models
+offline against the paper's anchor numbers:
+
+* no failures, failure-aware == 1.000
+* 10% / 50% unclustered  -> ~1.17 / ~1.33 (may DNF at high rates)
+* 10% / 50% two-page clustering -> ~1.039 / ~1.124
+* mean run ~1817 ms, mean full-GC pause ~7 ms, ~15 GCs at 2x heap
+
+Usage: python scripts/calibrate.py [--scale 0.5] [--seeds 0 1]
+"""
+
+import argparse
+import pickle
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.faults.generator import FailureModel
+from repro.runtime.time_model import CostModel
+from repro.sim.experiment import geomean
+from repro.sim.machine import RunConfig, run_benchmark
+from repro.workloads.dacapo import analysis_suite
+
+CACHE = Path(__file__).parent / ".calibration_cache.pkl"
+
+CONFIGS = {
+    # (failure model, immix line size)
+    "base": (FailureModel(), 256),
+    "u10": (FailureModel(rate=0.10), 256),
+    "u25": (FailureModel(rate=0.25), 256),
+    "u50": (FailureModel(rate=0.50), 256),
+    "u10_L64": (FailureModel(rate=0.10), 64),
+    "u50_L64": (FailureModel(rate=0.50), 64),
+    "base_L64": (FailureModel(), 64),
+    "c1_10": (FailureModel(rate=0.10, hw_region_pages=1), 256),
+    "c1_50": (FailureModel(rate=0.50, hw_region_pages=1), 256),
+    "c2_10": (FailureModel(rate=0.10, hw_region_pages=2), 256),
+    "c2_25": (FailureModel(rate=0.25, hw_region_pages=2), 256),
+    "c2_50": (FailureModel(rate=0.50, hw_region_pages=2), 256),
+}
+
+
+def collect(scale, seeds):
+    rows = {}
+    for spec in analysis_suite():
+        for key, (model, line) in CONFIGS.items():
+            for seed in seeds:
+                config = RunConfig(
+                    workload=spec.name,
+                    heap_multiplier=2.0,
+                    failure_model=model,
+                    immix_line=line,
+                    scale=scale,
+                    seed=seed,
+                )
+                result = run_benchmark(config)
+                rows[(spec.name, key, seed)] = result
+                print(
+                    f"  {spec.name:13s} {key:6s} seed{seed} "
+                    f"{'ok ' if result.completed else 'DNF'} "
+                    f"GCs={result.stats['collections']}",
+                    file=sys.stderr,
+                )
+    return rows
+
+
+def evaluate(rows, model: CostModel, seeds):
+    """Geomean overhead per config key under a candidate cost model."""
+    names = sorted({name for name, _, _ in rows})
+    out = {}
+    for key in CONFIGS:
+        ratios = []
+        dnf = []
+        for name in names:
+            num, den = [], []
+            for seed in seeds:
+                r = rows[(name, key, seed)]
+                b = rows[(name, "base", seed)]
+                if not r.completed:
+                    dnf.append(name)
+                    break
+                num.append(_time(model, r))
+                den.append(_time(model, b))
+            else:
+                ratios.append(sum(num) / sum(den))
+        out[key] = (geomean(ratios) if ratios else float("nan"), sorted(set(dnf)))
+    return out
+
+
+def _time(model: CostModel, result):
+    # Recompute from counters so cost models can be swapped offline.
+    from repro.collectors.stats import GcStats
+
+    stats = GcStats(**{k: v for k, v in result.stats.items()})
+    return model.total_time(stats)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0])
+    parser.add_argument("--fresh", action="store_true")
+    args = parser.parse_args()
+
+    if CACHE.exists() and not args.fresh:
+        rows = pickle.loads(CACHE.read_bytes())
+    else:
+        rows = collect(args.scale, args.seeds)
+        CACHE.write_bytes(pickle.dumps(rows))
+
+    model = CostModel()
+    out = evaluate(rows, model, args.seeds)
+    targets = {
+        "base": 1.0, "u10": 1.17, "u50": 1.33,
+        "c2_10": 1.039, "c2_50": 1.124,
+    }
+    print(f"{'config':8s} {'overhead':>9s} {'target':>8s}  DNFs")
+    for key, (value, dnf) in out.items():
+        target = targets.get(key, float('nan'))
+        print(f"{key:8s} {value:9.3f} {target:8.3f}  {','.join(dnf) if dnf else '-'}")
+
+
+if __name__ == "__main__":
+    main()

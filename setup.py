@@ -1,0 +1,9 @@
+"""Setup shim: enables editable installs on environments without the
+``wheel`` package (offline boxes where PEP 660 editable wheels cannot be
+built). ``pip install -e . --no-build-isolation`` works when wheel is
+available; ``python setup.py develop`` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro: failure-aware managed runtimes for wearable memories.
+
+A from-scratch reproduction of Gao, Strauss, Blackburn, McKinley,
+Burger & Larus, *"Using Managed Runtime Systems to Tolerate Holes in
+Wearable Memories"* (PLDI 2013).
+
+Quickstart::
+
+    from repro import VirtualMachine, VmConfig, FailureModel
+    from repro.units import MiB
+
+    config = VmConfig(
+        heap_bytes=2 * MiB,
+        failure_model=FailureModel(rate=0.10, hw_region_pages=2),
+    )
+    vm = VirtualMachine(config)
+    obj = vm.alloc(64)
+    vm.add_root(obj)
+    print(vm.simulated_ms(), "simulated ms so far")
+
+Layers (bottom to top): :mod:`repro.hardware` (PCM, ECC, failure buffer,
+clustering), :mod:`repro.osim` (page pools, failure table, syscalls),
+:mod:`repro.faults` (failure-map generation, injection, debit-credit
+accounting), :mod:`repro.heap` + :mod:`repro.collectors` (Immix, Sticky
+Immix, mark-sweep), :mod:`repro.runtime` (the VM facade and time model),
+:mod:`repro.workloads` (synthetic DaCapo), :mod:`repro.sim` (experiment
+harnesses for every figure in the paper).
+"""
+
+from .collectors import GcStats, ImmixCollector, ImmixConfig, MarkSweepCollector
+from .errors import (
+    ConfigError,
+    OutOfMemoryError,
+    PerfectMemoryExhaustedError,
+    ReproError,
+)
+from .faults import FailureMap, FailureModel, FaultInjector, PerfectPageAccountant
+from .hardware import Geometry, PcmModule
+from .runtime import DEFAULT_COST_MODEL, CostModel, VirtualMachine, VmConfig
+from .sim import ExperimentRunner, RunConfig, RunResult, run_benchmark
+from .workloads import DACAPO, TraceDriver, WorkloadSpec, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GcStats",
+    "ImmixCollector",
+    "ImmixConfig",
+    "MarkSweepCollector",
+    "ConfigError",
+    "OutOfMemoryError",
+    "PerfectMemoryExhaustedError",
+    "ReproError",
+    "FailureMap",
+    "FailureModel",
+    "FaultInjector",
+    "PerfectPageAccountant",
+    "Geometry",
+    "PcmModule",
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "VirtualMachine",
+    "VmConfig",
+    "ExperimentRunner",
+    "RunConfig",
+    "RunResult",
+    "run_benchmark",
+    "DACAPO",
+    "TraceDriver",
+    "WorkloadSpec",
+    "workload",
+    "__version__",
+]

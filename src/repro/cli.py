@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``    regenerate one or more of the paper's figures
+``bench``      run one workload at one configuration and dump counters
+``lifetime``   age a PCM module under a wear-management strategy
+``workloads``  list the synthetic DaCapo-style workloads
+
+Examples::
+
+    python -m repro workloads
+    python -m repro figures headline fig4 --scale 0.35
+    python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
+    python -m repro lifetime --strategy retire --iterations 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .faults.generator import FailureModel
+from .sim.experiment import ExperimentRunner
+from .sim.machine import RunConfig, run_benchmark
+from .workloads.dacapo import DACAPO
+
+#: figure name -> callable(runner, scale) -> list of FigureResult
+_FIGURES = {}
+
+
+def _register_figures() -> None:
+    from .sim import experiments as ex
+
+    _FIGURES.update(
+        {
+            "fig3": lambda r, s: [ex.figure3(r, scale=s)],
+            "fig4": lambda r, s: [ex.figure4(r, scale=s)],
+            "fig5": lambda r, s: [ex.figure5(r, scale=s)],
+            "fig6": lambda r, s: list(ex.figure6(r, scale=s)),
+            "fig7": lambda r, s: [ex.figure7(r, scale=s)],
+            "fig8": lambda r, s: [ex.figure8(r, scale=s)],
+            "fig9": lambda r, s: list(ex.figure9(r, scale=s)),
+            "fig10": lambda r, s: [ex.figure10(r, scale=s)],
+            "pauses": lambda r, s: [ex.section42_pauses(r, scale=s)],
+            "headline": lambda r, s: [ex.headline(r, scale=s)],
+        }
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Failure-aware managed runtimes for wearable memories "
+        "(PLDI 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument(
+        "names",
+        nargs="*",
+        default=["headline"],
+        help="figure ids (fig3..fig10, pauses, headline, or 'all')",
+    )
+    figures.add_argument("--scale", type=float, default=0.35)
+    figures.add_argument("--seeds", type=int, nargs="+", default=[0])
+    figures.add_argument("--progress", action="store_true")
+    figures.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    bench = sub.add_parser("bench", help="run one workload configuration")
+    bench.add_argument("workload")
+    bench.add_argument("--heap", type=float, default=2.0, metavar="MULTIPLIER")
+    bench.add_argument("--rate", type=float, default=0.0)
+    bench.add_argument("--clustering", type=int, default=0, metavar="PAGES")
+    bench.add_argument("--line", type=int, default=256, choices=[64, 128, 256])
+    bench.add_argument(
+        "--collector",
+        default="sticky-immix",
+        choices=["immix", "sticky-immix", "marksweep", "sticky-marksweep"],
+    )
+    bench.add_argument("--no-compensate", action="store_true")
+    bench.add_argument(
+        "--arraylets",
+        action="store_true",
+        help="discontiguous arrays instead of the page-grained LOS",
+    )
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=0)
+
+    lifetime = sub.add_parser("lifetime", help="age a PCM module")
+    lifetime.add_argument(
+        "--strategy",
+        default="aware",
+        choices=["retire", "aware", "clustered", "start-gap"],
+    )
+    lifetime.add_argument("--workload", default="avrora")
+    lifetime.add_argument("--iterations", type=int, default=12)
+    lifetime.add_argument("--endurance", type=float, default=40.0)
+
+    sub.add_parser("workloads", help="list workloads")
+    return parser
+
+
+def cmd_figures(args) -> int:
+    _register_figures()
+    names = list(args.names)
+    if names == ["all"] or "all" in names:
+        names = list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    progress = (lambda m: print("  ..", m, file=sys.stderr)) if args.progress else None
+    runner = ExperimentRunner(seeds=tuple(args.seeds), progress=progress)
+    if args.json:
+        import json
+
+        payload = {
+            name: [result.to_dict() for result in _FIGURES[name](runner, args.scale)]
+            for name in names
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name in names:
+        for result in _FIGURES[name](runner, args.scale):
+            print(result.render())
+            print()
+    return 0
+
+
+def cmd_bench(args) -> int:
+    config = RunConfig(
+        workload=args.workload,
+        heap_multiplier=args.heap,
+        collector=args.collector,
+        failure_model=FailureModel(rate=args.rate, hw_region_pages=args.clustering),
+        immix_line=args.line,
+        compensate=not args.no_compensate,
+        arraylets=args.arraylets,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    result = run_benchmark(config)
+    baseline = run_benchmark(
+        replace(config, failure_model=FailureModel(), compensate=True)
+    )
+    print(f"workload      {args.workload}")
+    print(f"configuration {config.failure_model.describe()}, "
+          f"L{args.line}, {args.collector}, heap {args.heap:g}x min")
+    print(f"status        {'completed' if result.completed else 'DNF: ' + result.failure_note}")
+    if result.completed:
+        print(f"time          {result.time_ms:.1f} simulated ms "
+              f"({result.time_units / baseline.time_units:.3f}x the no-failure run)")
+    interesting = (
+        "collections", "full_collections", "run_advances", "block_requests",
+        "overflow_allocs", "perfect_block_requests", "objects_copied",
+    )
+    for key in interesting:
+        print(f"  {key:24s} {result.stats[key]}")
+    print(f"  {'perfect_page_demand':24s} {result.perfect_page_demand}")
+    print(f"  {'borrowed_pages':24s} {result.borrowed_pages}")
+    return 0 if result.completed else 1
+
+
+def cmd_lifetime(args) -> int:
+    import dataclasses
+
+    from .hardware.wear_leveling import StartGapWearLeveler
+    from .sim.lifetime import (
+        retire_on_first_failure_lifetime,
+        run_lifetime,
+        write_heavy,
+    )
+    from .workloads.dacapo import workload
+
+    spec = write_heavy(workload(args.workload), mutations_per_object=2.0)
+    spec = dataclasses.replace(
+        spec, total_alloc_bytes=min(spec.total_alloc_bytes, 1_500_000)
+    )
+    if args.strategy == "retire":
+        result = retire_on_first_failure_lifetime(
+            spec, max_iterations=args.iterations, endurance_mean_writes=args.endurance
+        )
+    else:
+        result = run_lifetime(
+            spec,
+            clustering=args.strategy == "clustered",
+            wear_leveler=(
+                StartGapWearLeveler(gap_write_interval=20)
+                if args.strategy == "start-gap"
+                else None
+            ),
+            max_iterations=args.iterations,
+            endurance_mean_writes=args.endurance,
+        )
+    print(result.describe())
+    for record in result.records:
+        bar = "#" * int(50 * record.failed_fraction)
+        status = "ok " if record.completed else "DNF"
+        print(f"  iter {record.iteration:2d} {status} "
+              f"{record.failed_fraction:6.1%} {bar}")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    for spec in DACAPO:
+        print(f"{spec.name:13s} {spec.describe()}")
+        print(f"{'':13s} {spec.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figures": cmd_figures,
+        "bench": cmd_bench,
+        "lifetime": cmd_lifetime,
+        "workloads": cmd_workloads,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head).
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

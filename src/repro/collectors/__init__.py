@@ -1,0 +1,14 @@
+"""Garbage collectors: failure-aware (Sticky) Immix and mark-sweep baselines."""
+
+from .immix import ImmixCollector, ImmixConfig
+from .marksweep import SIZE_CLASSES, MarkSweepCollector, size_class_for
+from .stats import GcStats
+
+__all__ = [
+    "ImmixCollector",
+    "ImmixConfig",
+    "SIZE_CLASSES",
+    "MarkSweepCollector",
+    "size_class_for",
+    "GcStats",
+]

@@ -1,0 +1,112 @@
+"""Event counters shared by all collectors.
+
+Every interesting memory-management event is counted here; the time
+model (:mod:`repro.runtime.time_model`) turns counters into simulated
+execution time. Keeping *counting* and *costing* separate means every
+experiment uses identical cost constants — only the counted behaviour
+differs between configurations, exactly like wall-clock measurement of
+real collectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class GcStats:
+    """Counters for one VM run."""
+
+    # ------------------------------------------------------------------
+    # Mutator-side allocation events
+    # ------------------------------------------------------------------
+    objects_allocated: int = 0
+    bytes_allocated: int = 0
+    #: Bump-pointer hits (the Immix fast path).
+    fast_path_allocs: int = 0
+    #: Cursor advanced to the next free run (hole/live-line skip).
+    run_advances: int = 0
+    #: Blocks acquired (recycled or free) by the relaxed allocator.
+    block_requests: int = 0
+    #: Medium objects diverted to the overflow block.
+    overflow_allocs: int = 0
+    #: Runs inspected while searching an imperfect overflow block.
+    overflow_run_searches: int = 0
+    #: Overflow fallback had to request a perfect block (fussy).
+    perfect_block_requests: int = 0
+    #: Free-list pops (the mark-sweep allocation path).
+    freelist_allocs: int = 0
+    #: Free-list pops that reused a previously freed cell. Reused cells
+    #: are scattered across the heap (LIFO free lists), costing the
+    #: mutator locality that contiguous bump allocation keeps.
+    freelist_reuse_allocs: int = 0
+    #: Bytes of size-class internal fragmentation (mark-sweep).
+    freelist_waste_bytes: int = 0
+    #: Large objects placed in the LOS.
+    los_allocs: int = 0
+    los_pages_allocated: int = 0
+    #: Discontiguous-array (arraylet) allocation events.
+    arraylet_spines: int = 0
+    arraylet_chunks: int = 0
+    #: Bytes living behind arraylet indirection (charged an access tax).
+    arraylet_bytes: int = 0
+    #: Locality-weighted allocation volume: each placed byte contributes
+    #: 1/run_length_lines, so bytes allocated into short fragmented runs
+    #: weigh heavily and bytes in virgin blocks weigh almost nothing.
+    #: The time model turns this into the mutator cache-locality
+    #: penalty the paper attributes to fragmented allocation.
+    run_locality_units: float = 0.0
+    #: Block-sparsity-weighted allocation volume: each placed byte
+    #: contributes the failed-line fraction of its block. Objects in a
+    #: half-failed block are spread over twice the address span, which
+    #: costs the mutator page/TLB locality even when the holes are
+    #: clustered into large runs.
+    block_sparsity_units: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Collection events
+    # ------------------------------------------------------------------
+    collections: int = 0
+    full_collections: int = 0
+    nursery_collections: int = 0
+    objects_traced: int = 0
+    bytes_traced: int = 0
+    objects_copied: int = 0
+    bytes_copied: int = 0
+    lines_swept: int = 0
+    #: Live lines re-marked during sweeps; finer Immix lines mean more
+    #: line-mark work per live object (the metadata cost of small lines).
+    lines_marked: int = 0
+    blocks_swept: int = 0
+    cells_swept: int = 0
+    los_pages_reclaimed: int = 0
+    evacuations_aborted: int = 0
+    #: Collections forced by a dynamic line failure.
+    dynamic_failure_collections: int = 0
+    #: Live bytes observed at each full collection (pause estimation).
+    full_gc_live_bytes: List[int] = field(default_factory=list)
+    #: Live bytes observed at each nursery collection.
+    nursery_live_bytes: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict copy of the scalar counters (for reports/tests)."""
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if isinstance(getattr(self, name), (int, float))
+        }
+
+    def gc_survival_rate(self) -> float:
+        """Mean fraction of the heap live at full collections."""
+        if not self.full_gc_live_bytes or not self.bytes_allocated:
+            return 0.0
+        return sum(self.full_gc_live_bytes) / (
+            len(self.full_gc_live_bytes) * self.bytes_allocated
+        )
+
+    def mean_full_gc_live_bytes(self) -> float:
+        if not self.full_gc_live_bytes:
+            return 0.0
+        return sum(self.full_gc_live_bytes) / len(self.full_gc_live_bytes)

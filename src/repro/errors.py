@@ -1,0 +1,43 @@
+"""Exception hierarchy for the wearable-memory simulator."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class GeometryError(ConfigError):
+    """Line/page/block/region sizes that do not fit together."""
+
+
+class OutOfMemoryError(ReproError):
+    """The heap cannot satisfy an allocation even after collection."""
+
+
+class PerfectMemoryExhaustedError(OutOfMemoryError):
+    """A fussy (page-grained) request found no perfect page and no DRAM."""
+
+
+class FailureBufferOverflowError(ReproError):
+    """The hardware failure buffer filled before the OS drained it."""
+
+
+class AddressError(ReproError):
+    """An address outside the mapped space, or misaligned for its use."""
+
+
+class ProtocolError(ReproError):
+    """The OS/runtime cooperation protocol was violated.
+
+    Examples: a runtime using imperfect memory without registering a
+    dynamic-failure handler, or acknowledging a failure it never received.
+    """
+
+
+class PinnedObjectError(ReproError):
+    """An operation tried to move a pinned object."""

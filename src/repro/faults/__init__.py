@@ -1,0 +1,24 @@
+"""Fault injection: failure maps, generators, the OS/VM shim, accounting."""
+
+from .accounting import PerfectPageAccountant
+from .generator import (
+    PAPER_FAILURE_RATES,
+    FailureModel,
+    apply_hardware_clustering,
+    clustered_map,
+    uniform_map,
+)
+from .injector import FaultInjector
+from .maps import FailureMap, coarsen
+
+__all__ = [
+    "PerfectPageAccountant",
+    "PAPER_FAILURE_RATES",
+    "FailureModel",
+    "apply_hardware_clustering",
+    "clustered_map",
+    "uniform_map",
+    "FaultInjector",
+    "FailureMap",
+    "coarsen",
+]

@@ -1,0 +1,95 @@
+"""Debit-credit accounting for perfect-page demand (paper section 5).
+
+The paper's methodology distinguishes *relaxed* allocators (the Immix
+block space, robust to holes) from *fussy* allocators (the large object
+space and the overflow fallback, which need perfect pages). Real systems
+would satisfy fussy requests from scarce DRAM when perfect PCM runs out;
+to keep the space-time trade-off honest, the paper charges a one-page
+space penalty per borrowed page (a *debt*) and lets the relaxed
+allocator repay debts by declining perfect pages it is later offered.
+
+Without this accounting DRAM would be free, never-fragmented memory and
+higher failure rates could paradoxically perform *better*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfectPageAccountant:
+    """Tracks fussy demand, borrowed pages, and outstanding debt."""
+
+    #: Outstanding borrowed pages not yet repaid.
+    debt: int = 0
+    #: Total fussy perfect-page requests (the paper's figure 9(b) metric).
+    total_perfect_demand: int = 0
+    #: Requests satisfied from real perfect PCM pages.
+    satisfied_from_pcm: int = 0
+    #: Requests satisfied by borrowing (DRAM / remapped perfect page).
+    borrowed: int = 0
+    #: Perfect pages the relaxed allocator declined to repay debt.
+    repaid: int = 0
+    #: Running peak of outstanding debt.
+    peak_debt: int = 0
+    _demand_log: list = field(default_factory=list, repr=False)
+
+    def record_perfect_hit(self, count: int = 1) -> None:
+        """A fussy request was served from the perfect PCM pool."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.total_perfect_demand += count
+        self.satisfied_from_pcm += count
+
+    def borrow(self, count: int = 1) -> None:
+        """A fussy request had no perfect PCM page; borrow with penalty."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.total_perfect_demand += count
+        self.borrowed += count
+        self.debt += count
+        self.peak_debt = max(self.peak_debt, self.debt)
+
+    def offer_perfect_to_relaxed(self) -> bool:
+        """The relaxed allocator was handed a perfect page.
+
+        Returns True when the relaxed allocator may keep the page (no
+        outstanding debt); False when the page must be surrendered to
+        repay one page of debt, in which case the caller fetches another
+        PCM page for the relaxed allocator.
+        """
+        if self.debt > 0:
+            self.debt -= 1
+            self.repaid += 1
+            return False
+        return True
+
+    def return_borrowed(self) -> None:
+        """A borrowed page was freed: its DRAM returns, the debt clears."""
+        if self.debt <= 0:
+            raise ValueError("no outstanding debt to return")
+        self.debt -= 1
+
+    @property
+    def space_penalty_pages(self) -> int:
+        """Pages currently charged against the heap budget."""
+        return self.debt
+
+    def checkpoint_demand(self) -> None:
+        """Record cumulative demand (one sample per collection, say)."""
+        self._demand_log.append(self.total_perfect_demand)
+
+    @property
+    def demand_log(self) -> list:
+        return list(self._demand_log)
+
+    def summary(self) -> dict:
+        return {
+            "perfect_demand": self.total_perfect_demand,
+            "satisfied_from_pcm": self.satisfied_from_pcm,
+            "borrowed": self.borrowed,
+            "repaid": self.repaid,
+            "outstanding_debt": self.debt,
+            "peak_debt": self.peak_debt,
+        }

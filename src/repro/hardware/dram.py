@@ -1,0 +1,56 @@
+"""A small, perfect DRAM module (paper section 2.3).
+
+The paper assumes systems keep some ECC-protected DRAM for data that
+must not fail — OS structures, heap metadata, and the pages lent to
+fussy allocators when no perfect PCM page exists. DRAM never wears out
+in our model; what matters is that it is *scarce*, which the
+debit-credit accounting in :mod:`repro.faults.accounting` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..errors import AddressError, OutOfMemoryError
+from .geometry import Geometry
+
+
+class DramModule:
+    """Page-granularity DRAM allocator with simple occupancy tracking."""
+
+    def __init__(self, size_bytes: int, geometry: Optional[Geometry] = None) -> None:
+        self.geometry = geometry or Geometry()
+        if size_bytes <= 0 or size_bytes % self.geometry.page:
+            raise AddressError(
+                f"DRAM size {size_bytes} must be a positive multiple of "
+                f"the page size {self.geometry.page}"
+            )
+        self.size_bytes = size_bytes
+        self.n_pages = size_bytes // self.geometry.page
+        self._free: Set[int] = set(range(self.n_pages))
+        self._allocated: Set[int] = set()
+        self.peak_allocated = 0
+
+    def allocate_page(self) -> int:
+        """Return a free DRAM page index; raises when DRAM is exhausted."""
+        if not self._free:
+            raise OutOfMemoryError("DRAM exhausted")
+        page = min(self._free)
+        self._free.remove(page)
+        self._allocated.add(page)
+        self.peak_allocated = max(self.peak_allocated, len(self._allocated))
+        return page
+
+    def free_page(self, page: int) -> None:
+        if page not in self._allocated:
+            raise AddressError(f"DRAM page {page} is not allocated")
+        self._allocated.remove(page)
+        self._free.add(page)
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._allocated)

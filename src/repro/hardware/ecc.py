@@ -1,0 +1,105 @@
+"""Per-line hardware error correction with a finite budget.
+
+The paper assumes ECP-style correction (Schechter et al., ISCA 2010):
+each line carries a small number of correction entries, each able to
+permanently patch one stuck-at bit cell. While entries remain, writes to
+the line succeed; when a new cell fails and no entry is left, the *line*
+fails and the cooperative software takes over (section 2.2).
+
+A key point the paper makes is that once software stops using a failed
+line, the line's remaining correction resources could be repurposed. We
+model that with :meth:`LineEcc.reclaimable_entries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default number of correction entries per line, matching ECP-6.
+DEFAULT_ENTRIES_PER_LINE = 6
+
+
+@dataclass
+class LineEcc:
+    """Error-correction state for one PCM line."""
+
+    capacity: int = DEFAULT_ENTRIES_PER_LINE
+    used: int = 0
+    #: Set once the line has more stuck cells than correction entries.
+    exhausted: bool = False
+    #: Distinct stuck cell positions seen so far (bit offsets).
+    stuck_bits: set = field(default_factory=set)
+
+    def record_stuck_bit(self, bit_offset: int) -> bool:
+        """Record a newly stuck cell; return True if the line still works.
+
+        A repeat failure of an already-patched cell consumes nothing.
+        Once ``exhausted`` the line stays failed permanently.
+        """
+        if self.exhausted:
+            return False
+        if bit_offset in self.stuck_bits:
+            return True
+        self.stuck_bits.add(bit_offset)
+        if self.used < self.capacity:
+            self.used += 1
+            return True
+        self.exhausted = True
+        return False
+
+    @property
+    def remaining(self) -> int:
+        """Correction entries still unused."""
+        return self.capacity - self.used
+
+    def reclaimable_entries(self) -> int:
+        """Entries that could serve other lines once software retires this one.
+
+        When software stops allocating into an exhausted line, the
+        entries that were patching its cells are no longer needed
+        (section 2.2: "error correction resources previously used to
+        correct the failed line can be repurposed").
+        """
+        return self.used if self.exhausted else 0
+
+
+class EccDomain:
+    """ECC state for a range of lines, allocated lazily.
+
+    Most lines never see a stuck bit, so state is only materialized for
+    lines that do. This keeps multi-gigabyte simulated modules cheap.
+    """
+
+    def __init__(self, entries_per_line: int = DEFAULT_ENTRIES_PER_LINE) -> None:
+        if entries_per_line < 0:
+            raise ValueError("entries_per_line must be >= 0")
+        self.entries_per_line = entries_per_line
+        self._lines: dict = {}
+
+    def line(self, line_index: int) -> LineEcc:
+        """ECC record for ``line_index``, creating it on first touch."""
+        state = self._lines.get(line_index)
+        if state is None:
+            state = LineEcc(capacity=self.entries_per_line)
+            self._lines[line_index] = state
+        return state
+
+    def record_stuck_bit(self, line_index: int, bit_offset: int) -> bool:
+        """Route a stuck cell to its line; return True if still correctable."""
+        return self.line(line_index).record_stuck_bit(bit_offset)
+
+    def is_exhausted(self, line_index: int) -> bool:
+        state = self._lines.get(line_index)
+        return state.exhausted if state else False
+
+    def exhausted_lines(self) -> list:
+        """Sorted indices of lines whose correction budget ran out."""
+        return sorted(i for i, s in self._lines.items() if s.exhausted)
+
+    def total_reclaimable_entries(self) -> int:
+        """System-wide count of repurposable entries (section 2.2)."""
+        return sum(s.reclaimable_entries() for s in self._lines.values())
+
+    def touched_line_count(self) -> int:
+        """Number of lines with any ECC state at all (for tests/metrics)."""
+        return len(self._lines)

@@ -1,0 +1,268 @@
+"""Behavioural model of a PCM memory module (paper sections 2.2, 3.1).
+
+The module owns:
+
+* per-line wear state — each line has a sampled endurance threshold
+  (process variation) after which writes start producing stuck cells;
+* per-line ECC with a finite correction budget (:mod:`.ecc`);
+* the failure buffer that parks failed writes and interrupts the
+  processor (:mod:`.failure_buffer`);
+* optional failure-clustering hardware (:mod:`.clustering`);
+* optional wear leveling (:mod:`.wear_leveling`).
+
+Addresses given to :meth:`PcmModule.write`/:meth:`PcmModule.read` are
+*logical* module addresses; wear leveling and clustering translate them
+to physical lines internally, exactly like the real datapath would.
+
+Endurance is deliberately scaled down (thousands of writes rather than
+1e8) so that lifetime experiments finish in seconds; the *relative*
+behaviour — variation between cells, the failure cascade once ECC is
+exhausted — is what the experiments depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Set
+
+from ..errors import AddressError
+from .clustering import ClusteringController
+from .ecc import EccDomain
+from .failure_buffer import FailureBuffer, InterruptKind
+from .geometry import Geometry
+from .wear_leveling import NoWearLeveling, WearLeveler
+
+
+class EnduranceModel:
+    """Samples per-line write-endurance thresholds lazily.
+
+    ``mean_writes`` is the average number of writes a line tolerates
+    before its first cell sticks; ``cv`` is the coefficient of variation
+    modelling process variation. After the first stuck cell, additional
+    cells stick every ``mean_writes * followup_fraction`` writes, so a
+    worn line degrades progressively through its ECC budget.
+    """
+
+    def __init__(
+        self,
+        mean_writes: float = 10_000.0,
+        cv: float = 0.25,
+        followup_fraction: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if mean_writes <= 0:
+            raise ValueError("mean_writes must be positive")
+        if cv < 0:
+            raise ValueError("cv must be >= 0")
+        if followup_fraction <= 0:
+            raise ValueError("followup_fraction must be positive")
+        self.mean_writes = mean_writes
+        self.cv = cv
+        self.followup_fraction = followup_fraction
+        self._seed = seed
+        self._thresholds: dict = {}
+
+    def first_failure_threshold(self, line_index: int) -> int:
+        """Writes until the line's first stuck cell (sampled once)."""
+        threshold = self._thresholds.get(line_index)
+        if threshold is None:
+            rng = random.Random((self._seed << 32) ^ line_index)
+            sampled = rng.gauss(self.mean_writes, self.cv * self.mean_writes)
+            threshold = max(1, int(sampled))
+            self._thresholds[line_index] = threshold
+        return threshold
+
+    def followup_interval(self) -> int:
+        """Writes between successive stuck cells on a worn line."""
+        return max(1, int(self.mean_writes * self.followup_fraction))
+
+
+class PcmModule:
+    """A PCM module: an array of lines with wear, ECC, and a failure buffer.
+
+    Parameters
+    ----------
+    size_bytes:
+        Module capacity. Must be a whole number of clustering regions.
+    geometry:
+        Shared :class:`Geometry`.
+    endurance:
+        Endurance model; None disables wear (lines never fail on write),
+        which is what static-failure experiments want.
+    clustering_enabled:
+        Instantiate the redirection-map hardware.
+    wear_leveler:
+        A :class:`WearLeveler`; defaults to none (the paper's stance).
+    on_interrupt:
+        Callback invoked with :class:`InterruptKind` values — this is the
+        wire to the OS interrupt handler.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        geometry: Optional[Geometry] = None,
+        endurance: Optional[EnduranceModel] = None,
+        ecc_entries_per_line: int = 6,
+        clustering_enabled: bool = False,
+        wear_leveler: Optional[WearLeveler] = None,
+        failure_buffer_capacity: int = 32,
+        on_interrupt: Optional[Callable[[InterruptKind], None]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry or Geometry()
+        if size_bytes <= 0 or size_bytes % self.geometry.region:
+            raise AddressError(
+                f"module size {size_bytes} must be a positive multiple of the "
+                f"region size {self.geometry.region}"
+            )
+        self.size_bytes = size_bytes
+        self.endurance = endurance
+        self.ecc = EccDomain(ecc_entries_per_line)
+        self.failure_buffer = FailureBuffer(
+            capacity=failure_buffer_capacity, interrupt=self._raise_interrupt
+        )
+        self.clustering = ClusteringController(self.geometry) if clustering_enabled else None
+        self.wear_leveler = wear_leveler or NoWearLeveling()
+        self._on_interrupt = on_interrupt or (lambda kind: None)
+        self._rng = random.Random(seed)
+        self._write_counts: dict = {}
+        #: Physical lines whose ECC budget is exhausted.
+        self._failed_physical: Set[int] = set()
+        #: Logical lines software must avoid (post-clustering view).
+        self._failed_logical: Set[int] = set()
+        #: Failures not yet acknowledged by the OS, as
+        #: (reported_line, original_line) pairs: with clustering the
+        #: line *reported* failed is the remapped boundary slot, while
+        #: the parked write data sits under the *original* address.
+        self._pending_failures: List[tuple] = []
+        self.total_writes = 0
+        self.total_reads = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.geometry.pcm_line
+
+    def _raise_interrupt(self, kind: InterruptKind) -> None:
+        self._on_interrupt(kind)
+
+    def _check_range(self, address: int, size: int) -> None:
+        if address < 0 or size <= 0 or address + size > self.size_bytes:
+            raise AddressError(
+                f"access [{address:#x}, +{size}) outside module of {self.size_bytes} bytes"
+            )
+
+    def _covered_lines(self, address: int, size: int) -> range:
+        first = self.geometry.line_index(address)
+        last = self.geometry.line_index(address + size - 1)
+        return range(first, last + 1)
+
+    def _to_physical(self, logical_line: int) -> int:
+        line = self.wear_leveler.translate(logical_line)
+        if self.clustering is not None:
+            line = self.clustering.translate_line(line)
+        return line
+
+    # ------------------------------------------------------------------
+    # Static failure injection (used by the fault-injection harness)
+    # ------------------------------------------------------------------
+    def inject_static_failures(self, logical_lines: Iterable[int]) -> None:
+        """Pre-fail lines, modelling a module that aged before this run.
+
+        The lines are recorded directly in the logical view: the fault
+        injector already applied any clustering transform it wanted.
+        """
+        for line in logical_lines:
+            if not 0 <= line < self.n_lines:
+                raise AddressError(f"line {line} outside module")
+            self._failed_logical.add(line)
+            self._failed_physical.add(line)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int = 1) -> Optional[object]:
+        """Read; returns forwarded failure-buffer data when present."""
+        self._check_range(address, size)
+        self.total_reads += 1
+        line_address = self.geometry.line_address(self.geometry.line_index(address))
+        return self.failure_buffer.forward(line_address)
+
+    def write(self, address: int, size: int = 1, data: object = None) -> bool:
+        """Write ``size`` bytes at ``address``; returns True on success.
+
+        A return of False means at least one covered line failed during
+        this write: its data is parked in the failure buffer and the OS
+        has been interrupted.
+        """
+        self._check_range(address, size)
+        self.total_writes += 1
+        ok = True
+        for logical_line in self._covered_lines(address, size):
+            if not self._write_line(logical_line, data):
+                ok = False
+        return ok
+
+    def _write_line(self, logical_line: int, data: object) -> bool:
+        if logical_line in self._failed_logical:
+            # Software invariantly never writes failed lines; if it does
+            # the write is absorbed by the failure buffer like any
+            # failing write so no data is ever silently lost.
+            self._park_failed_write(logical_line, data)
+            return False
+        self.wear_leveler.on_write(logical_line)
+        physical = self._to_physical(logical_line)
+        if self.endurance is None:
+            return True
+        count = self._write_counts.get(physical, 0) + 1
+        self._write_counts[physical] = count
+        threshold = self.endurance.first_failure_threshold(physical)
+        if count < threshold:
+            return True
+        over = count - threshold
+        if over % self.endurance.followup_interval():
+            return True
+        # A new cell sticks on this write.
+        bit = self._rng.randrange(self.geometry.pcm_line * 8)
+        if self.ecc.record_stuck_bit(physical, bit):
+            return True
+        return not self._fail_line(logical_line, physical, data)
+
+    def _fail_line(self, logical_line: int, physical_line: int, data: object) -> bool:
+        """Record a permanent line failure; returns True (it failed)."""
+        self._failed_physical.add(physical_line)
+        if self.clustering is not None:
+            reported = self.clustering.record_failure(logical_line)
+        else:
+            reported = logical_line
+        self._failed_logical.add(reported)
+        self._pending_failures.append((reported, logical_line))
+        self._park_failed_write(logical_line, data)
+        return True
+
+    def _park_failed_write(self, logical_line: int, data: object) -> None:
+        self.failure_buffer.insert(self.geometry.line_address(logical_line), data)
+
+    # ------------------------------------------------------------------
+    # OS-facing views
+    # ------------------------------------------------------------------
+    def failed_logical_lines(self) -> Set[int]:
+        """Lines software must avoid, in the logical (clustered) view."""
+        return set(self._failed_logical)
+
+    def take_pending_failures(self) -> List[tuple]:
+        """Failures since the last call, as (reported, original) line
+        index pairs (OS drain)."""
+        pending, self._pending_failures = self._pending_failures, []
+        return pending
+
+    def line_write_count(self, physical_line: int) -> int:
+        return self._write_counts.get(physical_line, 0)
+
+    def write_count_histogram(self) -> List[int]:
+        """Write counts for every physical line ever written."""
+        return list(self._write_counts.values())
+
+    def failed_fraction(self) -> float:
+        return len(self._failed_logical) / self.n_lines

@@ -1,0 +1,36 @@
+"""Heap substrate: objects, line tables, blocks, page supply, LOS."""
+
+from .block import Block, block_is_perfect, perfect_block
+from .large_object_space import LargeObjectSpace, Placement
+from .line_table import FAILED, FREE, LIVE, LIVE_PINNED, free_runs, state_name
+from .object_model import (
+    ALIGNMENT,
+    HEADER_BYTES,
+    ObjectFactory,
+    SimObject,
+    aligned_size,
+    reachable_from,
+)
+from .page_supply import HeapPage, PageSupply
+
+__all__ = [
+    "Block",
+    "block_is_perfect",
+    "perfect_block",
+    "LargeObjectSpace",
+    "Placement",
+    "FAILED",
+    "FREE",
+    "LIVE",
+    "LIVE_PINNED",
+    "free_runs",
+    "state_name",
+    "ALIGNMENT",
+    "HEADER_BYTES",
+    "ObjectFactory",
+    "SimObject",
+    "aligned_size",
+    "reachable_from",
+    "HeapPage",
+    "PageSupply",
+]

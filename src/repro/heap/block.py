@@ -1,0 +1,178 @@
+"""Immix blocks (paper section 4.1).
+
+A block is 32 KB of virtually contiguous heap, backed by eight physical
+pages that need not be contiguous or perfect. The block carries the line
+mark table; failed PCM lines are seeded into it as FAILED Immix lines at
+construction — including the paper's *false failures*, where one failed
+64 B PCM line poisons a whole 128 B or 256 B Immix line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..hardware.geometry import Geometry
+from . import line_table
+from .line_table import FAILED, FREE, LIVE, LIVE_PINNED
+from .object_model import SimObject
+from .page_supply import HeapPage
+
+
+class Block:
+    """One Immix block and its line mark table."""
+
+    __slots__ = (
+        "virtual_index",
+        "geometry",
+        "pages",
+        "line_states",
+        "failed_lines",
+        "objects",
+        "evacuate",
+        "allocated_since_gc",
+    )
+
+    def __init__(self, virtual_index: int, pages: List[HeapPage], geometry: Geometry) -> None:
+        if len(pages) != geometry.pages_per_block:
+            raise ValueError(
+                f"a block needs {geometry.pages_per_block} pages, got {len(pages)}"
+            )
+        self.virtual_index = virtual_index
+        self.geometry = geometry
+        self.pages = pages
+        self.line_states = bytearray(geometry.immix_lines_per_block)
+        self.failed_lines: Set[int] = set()
+        self.objects: List[SimObject] = []
+        #: Flagged by defragmentation / dynamic-failure handling.
+        self.evacuate = False
+        #: True until the first sweep after allocation into this block;
+        #: the sticky (generational) collector sweeps only these.
+        self.allocated_since_gc = False
+        for slot, page in enumerate(pages):
+            for offset in page.failed_offsets:
+                self._seed_failed_pcm_line(slot, offset)
+
+    # ------------------------------------------------------------------
+    @property
+    def virtual_base(self) -> int:
+        return self.virtual_index * self.geometry.block
+
+    @property
+    def n_lines(self) -> int:
+        return self.geometry.immix_lines_per_block
+
+    def _seed_failed_pcm_line(self, page_slot: int, pcm_offset: int) -> int:
+        """Mark the Immix line poisoned by a failed PCM line; returns it."""
+        byte_offset = page_slot * self.geometry.page + pcm_offset * self.geometry.pcm_line
+        immix_line = byte_offset // self.geometry.immix_line
+        self.failed_lines.add(immix_line)
+        self.line_states[immix_line] = FAILED
+        return immix_line
+
+    def record_dynamic_failure(self, page_slot: int, pcm_offset: int) -> int:
+        """A line failed while the block is live; poison and flag.
+
+        Returns the affected Immix line. The collector must evacuate any
+        objects overlapping it (paper section 4.2, dynamic failures).
+        """
+        immix_line = self._seed_failed_pcm_line(page_slot, pcm_offset)
+        self.evacuate = True
+        return immix_line
+
+    # ------------------------------------------------------------------
+    # Line accounting
+    # ------------------------------------------------------------------
+    def free_runs(self) -> List[Tuple[int, int]]:
+        return line_table.free_runs(self.line_states)
+
+    def free_line_count(self) -> int:
+        return line_table.count_state(self.line_states, FREE)
+
+    def failed_line_count(self) -> int:
+        return len(self.failed_lines)
+
+    def usable_bytes(self) -> int:
+        return self.free_line_count() * self.geometry.immix_line
+
+    def is_wholly_free(self) -> bool:
+        """No live data and no failed lines: pages may return to the pool."""
+        return not self.objects and not self.failed_lines
+
+    def is_empty_of_objects(self) -> bool:
+        return not self.objects
+
+    def largest_hole_bytes(self) -> int:
+        return line_table.largest_free_run(self.line_states) * self.geometry.immix_line
+
+    def fragmentation_index(self) -> float:
+        return line_table.fragmentation_index(self.line_states)
+
+    # ------------------------------------------------------------------
+    # Sweep support
+    # ------------------------------------------------------------------
+    def rebuild_line_marks(self, epoch: int, keep_old: bool = False) -> Tuple[int, int]:
+        """Recompute line states from marked objects (the Immix sweep).
+
+        Unmarked objects are dropped from the block; with ``keep_old``
+        (sticky nursery sweeps) objects whose sticky bit is set are
+        implicitly live. Returns ``(live_lines, lines_scanned)`` for the
+        time model.
+        """
+        states = self.line_states
+        for line in range(self.n_lines):
+            states[line] = FREE
+        for line in self.failed_lines:
+            states[line] = FAILED
+        survivors: List[SimObject] = []
+        line_size = self.geometry.immix_line
+        for obj in self.objects:
+            if obj.mark != epoch and not (keep_old and obj.old):
+                continue
+            survivors.append(obj)
+            state = LIVE_PINNED if obj.pinned else LIVE
+            for line in obj.line_span(line_size):
+                if states[line] != LIVE_PINNED:
+                    states[line] = state
+        self.objects = survivors
+        self.allocated_since_gc = False
+        live_lines = line_table.count_state(states, LIVE) + line_table.count_state(
+            states, LIVE_PINNED
+        )
+        return live_lines, self.n_lines
+
+    def objects_overlapping_line(self, immix_line: int) -> List[SimObject]:
+        line_size = self.geometry.immix_line
+        return [obj for obj in self.objects if immix_line in obj.line_span(line_size)]
+
+    def place(self, obj: SimObject, offset: int) -> None:
+        """Bind an object to this block at ``offset`` (allocator use)."""
+        obj.block = self
+        obj.offset = offset
+        obj.los_placement = None
+        self.objects.append(obj)
+        self.allocated_since_gc = True
+
+    def page_slot_of_line(self, immix_line: int) -> int:
+        return immix_line * self.geometry.immix_line // self.geometry.page
+
+    def __repr__(self) -> str:
+        return (
+            f"Block({self.virtual_index}, {len(self.objects)} objects, "
+            f"{self.free_line_count()} free / {len(self.failed_lines)} failed lines)"
+        )
+
+
+def perfect_block(virtual_index: int, pages: List[HeapPage], geometry: Geometry) -> Block:
+    """A block that must be hole-free (overflow fallback, LOS staging)."""
+    if any(not page.is_perfect for page in pages):
+        raise ValueError("perfect block requested with imperfect pages")
+    return Block(virtual_index, pages, geometry)
+
+
+def block_is_perfect(block: Block) -> bool:
+    return not block.failed_lines
+
+
+def sort_key_most_holes(block: Block) -> int:
+    """Defrag candidate ordering: most fragmented blocks first."""
+    return -(block.free_line_count() + block.failed_line_count())

@@ -1,0 +1,69 @@
+"""Line mark states and free-run computation (paper section 4).
+
+Immix tracks heap memory per logical line. The stock collector uses
+free / live / live-pinned states; the failure-aware extension adds a
+fourth state, FAILED, "without space overhead" because line marks are
+bytes with spare encodings (paper section 4.2). The bump allocator never
+looks at states directly — it consumes *free runs*, the maximal spans of
+contiguous FREE lines computed here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Line states (stored one byte per line, as in MMTk's line mark table).
+FREE = 0
+LIVE = 1
+LIVE_PINNED = 2
+FAILED = 3
+
+_STATE_NAMES = {FREE: "free", LIVE: "live", LIVE_PINNED: "pinned", FAILED: "failed"}
+
+
+def state_name(state: int) -> str:
+    return _STATE_NAMES.get(state, f"?{state}")
+
+
+def free_runs(line_states: bytearray) -> List[Tuple[int, int]]:
+    """Maximal runs of FREE lines as ``(first_line, n_lines)`` pairs.
+
+    This is the structure the bump-pointer allocator consumes: it sets
+    its cursor to the run start and its limit to the run end, skipping
+    over live, pinned, and failed lines in one step.
+    """
+    runs: List[Tuple[int, int]] = []
+    start = None
+    for index, state in enumerate(line_states):
+        if state == FREE:
+            if start is None:
+                start = index
+        elif start is not None:
+            runs.append((start, index - start))
+            start = None
+    if start is not None:
+        runs.append((start, len(line_states) - start))
+    return runs
+
+
+def largest_free_run(line_states: bytearray) -> int:
+    """Length in lines of the largest contiguous free span."""
+    best = 0
+    for _, length in free_runs(line_states):
+        best = max(best, length)
+    return best
+
+
+def count_state(line_states: bytearray, state: int) -> int:
+    return line_states.count(state)
+
+
+def fragmentation_index(line_states: bytearray) -> float:
+    """How chopped-up the free space is: 0 = one run, ->1 = maximally split.
+
+    Defined as ``1 - largest_run / total_free``; 0.0 when no free lines.
+    """
+    total_free = count_state(line_states, FREE)
+    if total_free == 0:
+        return 0.0
+    return 1.0 - largest_free_run(line_states) / total_free

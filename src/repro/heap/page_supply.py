@@ -1,0 +1,291 @@
+"""The VM's page supply: span ownership and the debit-credit model.
+
+The runtime receives a fixed budget of (possibly imperfect) pages from
+the OS via the fault injector. Like MMTk, the heap hands memory to its
+spaces at a coarse granularity: *spans* of ``pages_per_block``
+consecutive pages. The relaxed Immix block space claims whole free
+spans; the fussy page-grained large object space claims spans too, but
+only consumes their *perfect* pages — the imperfect remainder of a
+LOS-claimed span is dead weight until the span empties.
+
+That dead weight is the heart of the paper's two-page-clustering
+threshold effect: while every 2-page region yields a perfect page
+(failure rate < 50 %), a LOS span is half-usable and cheap; once
+regions start yielding none, the LOS burns a whole span for one or two
+perfect pages and the collector feels the loss.
+
+When a fussy request finds no perfect PCM page at all, a page is
+borrowed (modelling scarce DRAM) and the paper's one-page *space
+penalty* is charged by parking one real free page for the duration of
+the loan. The relaxed allocator repays outstanding debt by declining
+perfect pages it is later offered.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from ..errors import OutOfMemoryError
+from ..faults.accounting import PerfectPageAccountant
+from ..hardware.geometry import Geometry
+
+#: Span owners.
+SPAN_FREE = 0
+SPAN_BLOCKS = 1
+SPAN_LOS = 2
+
+
+class HeapPage:
+    """VM-side view of one page backing the heap."""
+
+    __slots__ = ("index", "failed_offsets", "borrowed")
+
+    def __init__(
+        self, index: int, failed_offsets: FrozenSet[int] = frozenset(), borrowed: bool = False
+    ) -> None:
+        self.index = index
+        self.failed_offsets = failed_offsets
+        self.borrowed = borrowed
+
+    @property
+    def is_perfect(self) -> bool:
+        return not self.failed_offsets
+
+    def __repr__(self) -> str:
+        kind = "borrowed" if self.borrowed else ("perfect" if self.is_perfect else
+                                                 f"{len(self.failed_offsets)} holes")
+        return f"HeapPage({self.index}, {kind})"
+
+
+class _Span:
+    """``pages_per_block`` consecutive pages with a single owner."""
+
+    __slots__ = ("index", "pages", "owner", "free")
+
+    def __init__(self, index: int, pages: List[HeapPage]) -> None:
+        self.index = index
+        self.pages = pages
+        self.owner = SPAN_FREE
+        #: Pages currently free (not handed to a space user).
+        self.free: List[HeapPage] = list(pages)
+
+    @property
+    def fully_free(self) -> bool:
+        return len(self.free) == len(self.pages)
+
+    def free_perfect(self) -> List[HeapPage]:
+        return [page for page in self.free if page.is_perfect]
+
+    def has_free_perfect(self) -> bool:
+        return any(page.is_perfect for page in self.free)
+
+
+class PageSupply:
+    """Span-granular page bookkeeping for one VM heap."""
+
+    def __init__(
+        self,
+        pages: List[HeapPage],
+        geometry: Geometry,
+        accountant: Optional[PerfectPageAccountant] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.accountant = accountant or PerfectPageAccountant()
+        per_span = geometry.pages_per_block
+        usable = len(pages) - len(pages) % per_span
+        ordered = sorted(pages[:usable], key=lambda p: p.index)
+        self.total_pages = usable
+        self._spans: List[_Span] = [
+            _Span(i, ordered[i * per_span : (i + 1) * per_span])
+            for i in range(usable // per_span)
+        ]
+        self._span_of_page = {
+            page.index: span for span in self._spans for page in span.pages
+        }
+        #: Synthetic borrowed (DRAM) pages currently held by fussy users.
+        self._borrowed_held: List[HeapPage] = []
+        #: Real pages parked to pay the one-page space penalty of each
+        #: outstanding borrowed page; returned when the loan ends.
+        self._parked: List[HeapPage] = []
+        self._next_borrow_index = -1
+        # Statistics
+        self.relaxed_pages_taken = 0
+        self.fussy_pages_taken = 0
+        self.los_span_claims = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def free_perfect(self) -> int:
+        return sum(
+            1
+            for span in self._spans
+            if span.owner != SPAN_BLOCKS
+            for page in span.free
+            if page.is_perfect
+        )
+
+    @property
+    def free_imperfect(self) -> int:
+        return sum(
+            1
+            for span in self._spans
+            if span.owner != SPAN_BLOCKS
+            for page in span.free
+            if not page.is_perfect
+        )
+
+    @property
+    def free_real_pages(self) -> int:
+        return sum(len(span.free) for span in self._spans)
+
+    def available_pages(self) -> int:
+        """Free pages across all spans (parked pages excluded)."""
+        return self.free_real_pages
+
+    def free_spans(self) -> int:
+        return sum(1 for span in self._spans if span.owner == SPAN_FREE and span.fully_free)
+
+    @property
+    def parked_pages(self) -> int:
+        """Real pages currently parked as borrow penalties."""
+        return len(self._parked)
+
+    def los_dead_weight_pages(self) -> int:
+        """Imperfect pages stranded inside LOS-claimed spans.
+
+        The paper's clustering-threshold cost made visible: these pages
+        are neither usable by the LOS nor available to the block space.
+        """
+        return sum(
+            1
+            for span in self._spans
+            if span.owner == SPAN_LOS
+            for page in span.free
+            if not page.is_perfect
+        )
+
+    # ------------------------------------------------------------------
+    # Relaxed path (Immix block space): whole spans
+    # ------------------------------------------------------------------
+    def take_block_pages(self) -> Optional[List[HeapPage]]:
+        """Claim the lowest fully-free span for a 32 KB block."""
+        for span in self._spans:
+            if span.owner == SPAN_FREE and span.fully_free:
+                span.owner = SPAN_BLOCKS
+                taken = list(span.free)
+                span.free = []
+                self.relaxed_pages_taken += len(taken)
+                return taken
+        return None
+
+    # ------------------------------------------------------------------
+    # Fussy path (LOS, overflow fallback): perfect pages
+    # ------------------------------------------------------------------
+    def fussy_page(self, allow_borrow: bool = True) -> HeapPage:
+        """A perfect page: LOS-span inventory, a new span, or a borrow."""
+        self.fussy_pages_taken += 1
+        # 1. Perfect pages already inside LOS-claimed spans.
+        for span in self._spans:
+            if span.owner == SPAN_LOS:
+                for page in span.free:
+                    if page.is_perfect:
+                        span.free.remove(page)
+                        self.accountant.record_perfect_hit()
+                        return page
+        # 2. Claim the lowest free span that holds a perfect page. Its
+        #    imperfect pages become dead weight until the span empties.
+        for span in self._spans:
+            if span.owner == SPAN_FREE and span.fully_free and span.has_free_perfect():
+                span.owner = SPAN_LOS
+                self.los_span_claims += 1
+                page = span.free_perfect()[0]
+                span.free.remove(page)
+                self.accountant.record_perfect_hit()
+                return page
+        # 3. Borrow DRAM, parking one real free page as the penalty.
+        if not allow_borrow:
+            self.fussy_pages_taken -= 1
+            raise OutOfMemoryError("no perfect PCM page; collect before borrowing")
+        parked = self._steal_parkable()
+        if parked is None:
+            self.fussy_pages_taken -= 1
+            raise OutOfMemoryError("no free page left to charge the borrow penalty")
+        self._parked.append(parked)
+        self.accountant.borrow()
+        page = HeapPage(self._next_borrow_index, borrowed=True)
+        self._next_borrow_index -= 1
+        self._borrowed_held.append(page)
+        return page
+
+    def _steal_parkable(self) -> Optional[HeapPage]:
+        """Remove one free page to park: LOS dead weight first, then any."""
+        for span in self._spans:
+            if span.owner == SPAN_LOS:
+                for page in span.free:
+                    if not page.is_perfect:
+                        span.free.remove(page)
+                        return page
+        for span in self._spans:
+            if span.free:
+                page = span.free[0]
+                span.free.remove(page)
+                if span.owner == SPAN_FREE:
+                    span.owner = SPAN_LOS  # broken for parking
+                return page
+        return None
+
+    def fussy_pages(self, n: int, allow_borrow: bool = True) -> List[HeapPage]:
+        """``n`` perfect pages, all-or-nothing."""
+        taken: List[HeapPage] = []
+        try:
+            for _ in range(n):
+                taken.append(self.fussy_page(allow_borrow=allow_borrow))
+        except OutOfMemoryError:
+            for page in taken:
+                self.release(page)
+            raise
+        return taken
+
+    # ------------------------------------------------------------------
+    def release(self, page: HeapPage) -> None:
+        """Return a page to its span (or end a DRAM loan).
+
+        The paper's credit step happens here: a perfect page freed while
+        debt is outstanding is surrendered to one borrowed placement
+        (which silently becomes PCM-backed) instead of rejoining the
+        free pool, retiring one page of debt and unparking its penalty
+        page. Economically this is the paper's "relaxed allocator
+        declines the perfect page" rule: the page goes to the fussy side
+        the moment it would otherwise become allocatable.
+        """
+        if page.borrowed:
+            self._borrowed_held.remove(page)
+            self.accountant.return_borrowed()
+            self._unpark()
+            return
+        if page.is_perfect and self.accountant.debt > 0 and self._borrowed_held:
+            held = self._borrowed_held.pop()
+            held.index = page.index
+            held.failed_offsets = page.failed_offsets
+            held.borrowed = False
+            self._unpark()
+            if self.accountant.offer_perfect_to_relaxed():
+                raise AssertionError("accountant debt disagreed with borrowed_held")
+            return
+        span = self._span_of_page[page.index]
+        span.free.append(page)
+        if span.fully_free:
+            span.owner = SPAN_FREE
+
+    def release_all(self, pages: List[HeapPage]) -> None:
+        for page in pages:
+            self.release(page)
+
+    def _unpark(self) -> None:
+        if self._parked:
+            page = self._parked.pop()
+            if page.borrowed:
+                return
+            self.release(page)

@@ -1,0 +1,23 @@
+"""OS substrate: page pools, failure table, syscalls, swap.
+
+Named ``osim`` ("OS simulation") rather than ``os`` to avoid shadowing
+the standard library.
+"""
+
+from .failure_table import FailureTable
+from .memory_manager import FailureEvent, OsMemoryManager
+from .page import PageKind, PhysicalPage
+from .pools import PagePools
+from .swap import SwapSlot, SwapStats, Swapper
+
+__all__ = [
+    "FailureTable",
+    "FailureEvent",
+    "OsMemoryManager",
+    "PageKind",
+    "PhysicalPage",
+    "PagePools",
+    "SwapSlot",
+    "SwapStats",
+    "Swapper",
+]

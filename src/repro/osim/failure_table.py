@@ -1,0 +1,129 @@
+"""The OS failure table (paper section 3.2.1).
+
+The OS keeps one 64-bit bitmap per PCM page (for 4 KB pages of 64 B
+lines) in a DRAM-resident table — about 1.6 % of PCM capacity
+uncompressed. On clean shutdown the table is persisted; after an
+abnormal shutdown it can be rebuilt by scanning the memory module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..hardware.geometry import Geometry
+
+
+class FailureTable:
+    """Per-page failure bitmaps for a PCM module of ``n_pages`` pages."""
+
+    def __init__(self, n_pages: int, geometry: Geometry) -> None:
+        if n_pages < 0:
+            raise ValueError("n_pages must be >= 0")
+        self.n_pages = n_pages
+        self.geometry = geometry
+        self._bitmaps: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def record_failure(self, page_index: int, line_offset: int) -> bool:
+        """Mark a line failed; returns True if the page was perfect before."""
+        self._check(page_index, line_offset)
+        old = self._bitmaps.get(page_index, 0)
+        self._bitmaps[page_index] = old | (1 << line_offset)
+        return old == 0
+
+    def record_global_line(self, global_line: int) -> bool:
+        """Record a failure given a module-wide line index."""
+        per_page = self.geometry.lines_per_page
+        return self.record_failure(global_line // per_page, global_line % per_page)
+
+    def bitmap(self, page_index: int) -> int:
+        self._check(page_index, 0)
+        return self._bitmaps.get(page_index, 0)
+
+    def failed_offsets(self, page_index: int) -> Set[int]:
+        bitmap = self.bitmap(page_index)
+        return {i for i in range(self.geometry.lines_per_page) if bitmap >> i & 1}
+
+    def is_perfect(self, page_index: int) -> bool:
+        return self.bitmap(page_index) == 0
+
+    def imperfect_pages(self) -> List[int]:
+        return sorted(page for page, bits in self._bitmaps.items() if bits)
+
+    def failed_line_count(self) -> int:
+        return sum(bin(bits).count("1") for bits in self._bitmaps.values())
+
+    # ------------------------------------------------------------------
+    # Persistence / rebuild (section 3.2.1)
+    # ------------------------------------------------------------------
+    def save(self) -> Dict[int, int]:
+        """Serializable snapshot for persistent storage at shutdown."""
+        return {page: bits for page, bits in self._bitmaps.items() if bits}
+
+    @classmethod
+    def restore(
+        cls, snapshot: Dict[int, int], n_pages: int, geometry: Geometry
+    ) -> "FailureTable":
+        table = cls(n_pages, geometry)
+        for page, bits in snapshot.items():
+            table._check(page, 0)
+            table._bitmaps[page] = bits
+        return table
+
+    @classmethod
+    def rebuild_from_lines(
+        cls, failed_lines: Iterable[int], n_pages: int, geometry: Geometry
+    ) -> "FailureTable":
+        """Eager rebuild by scanning the module (post-crash recovery)."""
+        table = cls(n_pages, geometry)
+        for line in failed_lines:
+            table.record_global_line(line)
+        return table
+
+    # ------------------------------------------------------------------
+    def storage_overhead_bytes(self) -> int:
+        """DRAM bytes for the uncompressed table (one bitmap per page)."""
+        return self.n_pages * self.geometry.lines_per_page // 8
+
+    def compressed_size_bytes(self) -> int:
+        """Run-length-encoded table size (paper: "run-length encoding
+        or other simple encoding techniques may provide high compression
+        rates ... especially when the system is new").
+
+        Encoding: a sorted stream of (page delta, bitmap payload) where
+        perfect pages are skipped entirely; each imperfect page costs a
+        2-byte page delta plus an RLE bitmap of its 64 line bits (one
+        byte per run, up to 8 bytes, whichever is smaller than raw).
+        """
+        total = 0
+        for page in self.imperfect_pages():
+            bitmap = self._bitmaps[page]
+            runs = 0
+            previous = None
+            for i in range(self.geometry.lines_per_page):
+                bit = bitmap >> i & 1
+                if bit != previous:
+                    runs += 1
+                    previous = bit
+            total += 2 + min(runs, self.geometry.lines_per_page // 8)
+        return total
+
+    def compression_ratio(self) -> float:
+        """Uncompressed / compressed size; large when the system is new."""
+        compressed = self.compressed_size_bytes()
+        if compressed == 0:
+            return float("inf")
+        return self.storage_overhead_bytes() / compressed
+
+    def storage_overhead_fraction(self) -> float:
+        """Table size relative to the PCM it describes (paper: ~1.6 %)."""
+        pcm_bytes = self.n_pages * self.geometry.page
+        if pcm_bytes == 0:
+            return 0.0
+        return self.storage_overhead_bytes() / pcm_bytes
+
+    def _check(self, page_index: int, line_offset: int) -> None:
+        if not 0 <= page_index < self.n_pages:
+            raise IndexError(f"page {page_index} outside table of {self.n_pages}")
+        if not 0 <= line_offset < self.geometry.lines_per_page:
+            raise IndexError(f"line offset {line_offset} outside page")

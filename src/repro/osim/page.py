@@ -1,0 +1,52 @@
+"""Physical page descriptors used by the OS layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Set
+
+
+class PageKind(Enum):
+    """Which physical medium backs the page."""
+
+    DRAM = auto()
+    PCM = auto()
+
+
+@dataclass
+class PhysicalPage:
+    """One physical page and its failure state.
+
+    ``failed_offsets`` holds page-relative PCM line offsets (0..63 for
+    the paper's 4 KB/64 B geometry). DRAM pages never fail.
+    """
+
+    index: int
+    kind: PageKind = PageKind.PCM
+    failed_offsets: Set[int] = field(default_factory=set)
+
+    @property
+    def is_perfect(self) -> bool:
+        return not self.failed_offsets
+
+    @property
+    def failed_count(self) -> int:
+        return len(self.failed_offsets)
+
+    def record_failure(self, offset: int) -> None:
+        if self.kind is PageKind.DRAM:
+            raise ValueError("DRAM pages do not fail in this model")
+        self.failed_offsets.add(offset)
+
+    def compatible_destination_for(self, source: "PhysicalPage") -> bool:
+        """Can data written around ``source``'s holes land on this page?
+
+        True when this page's holes are a subset of the source's holes
+        (paper section 3.2.3, option 2's cheap special case).
+        """
+        return self.failed_offsets <= source.failed_offsets
+
+    def __repr__(self) -> str:
+        state = "perfect" if self.is_perfect else f"{self.failed_count} failed lines"
+        return f"PhysicalPage({self.index}, {self.kind.name}, {state})"

@@ -1,0 +1,157 @@
+"""OS page pools (paper section 3.2.1).
+
+The OS manages DRAM, perfect PCM, and imperfect PCM pages in separate
+pools. All PCM pages start perfect; the first failure on a page moves it
+to the imperfect pool. Failure-unaware processes draw only from the
+perfect (or DRAM) pools; failure-aware runtimes may draw imperfect pages
+too, which grow ever more abundant as the system ages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import OutOfMemoryError, PerfectMemoryExhaustedError
+from .page import PageKind, PhysicalPage
+
+
+class PagePools:
+    """Free-page pools plus the universe of page descriptors."""
+
+    def __init__(self, n_pcm_pages: int, n_dram_pages: int = 0) -> None:
+        if n_pcm_pages < 0 or n_dram_pages < 0:
+            raise ValueError("page counts must be >= 0")
+        self.pages: Dict[int, PhysicalPage] = {}
+        self._perfect: Deque[int] = deque()
+        self._imperfect: Deque[int] = deque()
+        self._dram: Deque[int] = deque()
+        for index in range(n_pcm_pages):
+            self.pages[index] = PhysicalPage(index, PageKind.PCM)
+            self._perfect.append(index)
+        for index in range(n_pcm_pages, n_pcm_pages + n_dram_pages):
+            self.pages[index] = PhysicalPage(index, PageKind.DRAM)
+            self._dram.append(index)
+        self._allocated: set = set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def free_perfect(self) -> int:
+        return len(self._perfect)
+
+    @property
+    def free_imperfect(self) -> int:
+        return len(self._imperfect)
+
+    @property
+    def free_dram(self) -> int:
+        return len(self._dram)
+
+    def is_allocated(self, index: int) -> bool:
+        return index in self._allocated
+
+    def page(self, index: int) -> PhysicalPage:
+        return self.pages[index]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def take_perfect(self, allow_dram: bool = False) -> PhysicalPage:
+        """A page with no failures: perfect PCM first, DRAM as fallback."""
+        if self._perfect:
+            return self._take(self._perfect.popleft())
+        if allow_dram and self._dram:
+            return self._take(self._dram.popleft())
+        raise PerfectMemoryExhaustedError("no perfect PCM page available")
+
+    def take_dram(self) -> PhysicalPage:
+        if not self._dram:
+            raise OutOfMemoryError("no DRAM page available")
+        return self._take(self._dram.popleft())
+
+    def take_any_pcm(self) -> PhysicalPage:
+        """Any PCM page, imperfect preferred (they are less precious)."""
+        if self._imperfect:
+            return self._take(self._imperfect.popleft())
+        if self._perfect:
+            return self._take(self._perfect.popleft())
+        raise OutOfMemoryError("no PCM page available")
+
+    def take_imperfect(self) -> Optional[PhysicalPage]:
+        """An imperfect page, or None when none are free."""
+        if self._imperfect:
+            return self._take(self._imperfect.popleft())
+        return None
+
+    def take_page(self, index: int) -> Optional[PhysicalPage]:
+        """Take one specific free page by index, or None if unavailable."""
+        for pool in (self._perfect, self._imperfect, self._dram):
+            try:
+                pool.remove(index)
+            except ValueError:
+                continue
+            return self._take(index)
+        return None
+
+    def take_compatible(self, source: PhysicalPage) -> Optional[PhysicalPage]:
+        """A free imperfect page whose holes are a subset of ``source``'s.
+
+        Supports the swap-in path (section 3.2.3); linear scan, which
+        the paper notes has limited efficacy — failure clustering makes
+        the simpler failed-count comparison (``take_clustered_compatible``)
+        preferable.
+        """
+        for index in list(self._imperfect):
+            candidate = self.pages[index]
+            if candidate.compatible_destination_for(source):
+                self._imperfect.remove(index)
+                return self._take(index)
+        return None
+
+    def take_clustered_compatible(self, failed_count: int) -> Optional[PhysicalPage]:
+        """A free imperfect page with at most ``failed_count`` failures.
+
+        Valid only under failure clustering, where every page's holes
+        are packed at a known end: any page with the same number or
+        fewer failures is automatically hole-compatible.
+        """
+        for index in list(self._imperfect):
+            if self.pages[index].failed_count <= failed_count:
+                self._imperfect.remove(index)
+                return self._take(index)
+        return None
+
+    def _take(self, index: int) -> PhysicalPage:
+        self._allocated.add(index)
+        return self.pages[index]
+
+    # ------------------------------------------------------------------
+    # Release and state transitions
+    # ------------------------------------------------------------------
+    def release(self, index: int) -> None:
+        if index not in self._allocated:
+            raise ValueError(f"page {index} is not allocated")
+        self._allocated.remove(index)
+        page = self.pages[index]
+        if page.kind is PageKind.DRAM:
+            self._dram.append(index)
+        elif page.is_perfect:
+            self._perfect.append(index)
+        else:
+            self._imperfect.append(index)
+
+    def note_page_degraded(self, index: int) -> None:
+        """Move a free page from the perfect to the imperfect pool after
+        its first failure (allocated pages move when released)."""
+        if index in self._allocated:
+            return
+        try:
+            self._perfect.remove(index)
+        except ValueError:
+            return
+        self._imperfect.append(index)
+
+    def imperfect_page_indices(self) -> List[int]:
+        return sorted(self._imperfect)

@@ -1,0 +1,12 @@
+"""Managed runtime: the VM facade and the execution-time cost model."""
+
+from .time_model import DEFAULT_COST_MODEL, CostModel
+from .vm import COLLECTORS, VirtualMachine, VmConfig
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "COLLECTORS",
+    "VirtualMachine",
+    "VmConfig",
+]

@@ -1,0 +1,300 @@
+"""The virtual-machine facade (paper sections 3.3.2 and 4).
+
+:class:`VirtualMachine` wires the whole cooperative stack together:
+
+* it builds (or accepts) a :class:`~repro.faults.injector.FaultInjector`
+  — the aged PCM module plus the failure-aware OS;
+* registers a dynamic-failure handler with the OS before requesting
+  imperfect memory (the protocol the paper mandates);
+* maps a compensated heap, folds the failure map into the collector's
+  line metadata, and exposes ``alloc`` / ``add_root`` / ``add_ref`` /
+  ``mutate`` to workloads;
+* triggers collections on allocation failure and full collections when
+  dynamic failures require evacuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..collectors.immix import ImmixCollector, ImmixConfig
+from ..collectors.marksweep import MarkSweepCollector
+from ..collectors.stats import GcStats
+from ..errors import ConfigError, OutOfMemoryError
+from ..faults.generator import FailureModel
+from ..faults.injector import FaultInjector
+from ..hardware.geometry import Geometry
+from ..heap.object_model import ObjectFactory, SimObject
+from ..heap.page_supply import HeapPage, PageSupply
+from .time_model import DEFAULT_COST_MODEL, CostModel
+
+#: Collector selection strings, paper notation.
+COLLECTORS = ("immix", "sticky-immix", "marksweep", "sticky-marksweep")
+
+
+@dataclass
+class VmConfig:
+    """Everything needed to build a VM deterministically."""
+
+    heap_bytes: int
+    geometry: Geometry = field(default_factory=Geometry)
+    collector: str = "sticky-immix"
+    failure_model: FailureModel = field(default_factory=FailureModel)
+    #: Hold non-faulty bytes constant by requesting h/(1-f) raw memory.
+    compensate: bool = True
+    large_threshold: int = 8 * 1024
+    seed: int = 0
+    #: Simulate PCM wear on writes (dynamic-failure experiments).
+    wear_writes: bool = False
+    #: DRAM-era baseline: retire the whole page when any line fails,
+    #: instead of stepping around the single failed line.
+    page_retirement: bool = False
+    #: Discontiguous arrays: place large objects as arraylets in line
+    #: space instead of on perfect LOS pages (paper section 3.3.3).
+    arraylets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.collector not in COLLECTORS:
+            raise ConfigError(
+                f"unknown collector {self.collector!r}; choose from {COLLECTORS}"
+            )
+        if self.heap_bytes <= 0:
+            raise ConfigError("heap_bytes must be positive")
+
+
+class VirtualMachine:
+    """A failure-aware managed runtime over simulated wearable memory."""
+
+    def __init__(
+        self,
+        config: VmConfig,
+        injector: Optional[FaultInjector] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.cost_model = cost_model
+        self.stats = GcStats()
+        self.factory = ObjectFactory()
+        self._roots: Dict[int, SimObject] = {}
+        self._pending_failure_gc = False
+        self._displaced: List[SimObject] = []
+        self.injector = injector or self._build_injector()
+        self.os = self.injector.os
+        # Protocol order matters: register the handler, then map
+        # imperfect memory (section 3.2.2).
+        self.os.register_failure_handler(self._on_failure_upcall)
+        self._heap_pages = self._map_heap()
+        self.supply = PageSupply(self._heap_pages, self.geometry)
+        self.collector = self._build_collector()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _raw_heap_bytes(self) -> int:
+        rate = self.config.failure_model.rate
+        if self.config.compensate and rate > 0.0:
+            return FaultInjector.compensated_bytes(
+                self.config.heap_bytes, rate, self.geometry.block
+            )
+        block = self.geometry.block
+        return (self.config.heap_bytes + block - 1) // block * block
+
+    def _build_injector(self) -> FaultInjector:
+        raw = self._raw_heap_bytes()
+        region = self.geometry.region
+        pcm_bytes = (raw + region - 1) // region * region
+        return FaultInjector(
+            self.config.failure_model,
+            pcm_bytes=pcm_bytes,
+            geometry=self.geometry,
+            seed=self.config.seed,
+        )
+
+    def _map_heap(self) -> List[HeapPage]:
+        n_pages = self._raw_heap_bytes() // self.geometry.page
+        os_pages = self.os.mmap_imperfect(n_pages, owner="runtime")
+        failures = self.os.map_failures(os_pages)
+        if self.config.page_retirement:
+            # DRAM-era baseline: a page with any failed line is dead.
+            whole_page = frozenset(range(self.geometry.lines_per_page))
+            failures = {
+                index: (whole_page if offsets else frozenset())
+                for index, offsets in failures.items()
+            }
+        return [HeapPage(p.index, failures[p.index]) for p in os_pages]
+
+    def _build_collector(self):
+        name = self.config.collector
+        if name in ("immix", "sticky-immix"):
+            return ImmixCollector(
+                self.supply,
+                self.geometry,
+                config=ImmixConfig(
+                    large_threshold=self.config.large_threshold,
+                    generational=name == "sticky-immix",
+                    arraylets=self.config.arraylets,
+                ),
+                stats=self.stats,
+                factory=self.factory,
+            )
+        return MarkSweepCollector(
+            self.supply,
+            self.geometry,
+            generational=name == "sticky-marksweep",
+            large_threshold=self.config.large_threshold,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Mutator interface
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, pinned: bool = False) -> SimObject:
+        """Allocate an object, collecting (and retrying) as needed."""
+        if self._pending_failure_gc:
+            self._failure_collection()
+        obj = self.factory.make(size, pinned=pinned)
+        if not self.collector.allocate(obj):
+            self.collect()
+            if not self.collector.allocate(obj, after_gc=True):
+                self.collect(force_full=True)
+                if not self.collector.allocate(obj, after_gc=True):
+                    raise OutOfMemoryError(
+                        f"cannot place {obj.size} B object in a "
+                        f"{self.config.heap_bytes} B heap "
+                        f"({self.config.failure_model.describe()})"
+                    )
+        if self.config.wear_writes:
+            self._write_object(obj)
+        return obj
+
+    def add_root(self, obj: SimObject) -> None:
+        self._roots[obj.oid] = obj
+
+    def remove_root(self, obj: SimObject) -> None:
+        self._roots.pop(obj.oid, None)
+
+    def add_ref(self, parent: SimObject, child: SimObject) -> None:
+        parent.add_ref(child)
+        self.collector.write_barrier(parent, child)
+        if self.config.wear_writes:
+            self._write_slot(parent)
+
+    def mutate(self, obj: SimObject) -> None:
+        """An application store into the object (wears its lines)."""
+        if self.config.wear_writes:
+            self._write_slot(obj)
+
+    def roots(self) -> List[SimObject]:
+        return list(self._roots.values())
+
+    @property
+    def live_root_count(self) -> int:
+        return len(self._roots)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self, force_full: bool = False) -> dict:
+        result = self.collector.collect(self.roots(), force_full=force_full)
+        self._replace_displaced()
+        return result
+
+    def _failure_collection(self) -> None:
+        """Full collection forced by a dynamic failure (section 4.2)."""
+        self._pending_failure_gc = False
+        self.stats.dynamic_failure_collections += 1
+        self.collect(force_full=True)
+
+    def _replace_displaced(self) -> None:
+        displaced = getattr(self.collector, "displaced", self._displaced)
+        while displaced:
+            obj = displaced.pop()
+            if not self.collector.allocate(obj, after_gc=True):
+                displaced.append(obj)
+                raise OutOfMemoryError("cannot re-place object displaced by failure")
+
+    # ------------------------------------------------------------------
+    # Dynamic failures (OS up-call)
+    # ------------------------------------------------------------------
+    def _on_failure_upcall(self, events: Sequence) -> None:
+        """OS handler: route each failed line into the collector."""
+        needs_gc = False
+        for event in events:
+            if isinstance(self.collector, ImmixCollector):
+                if self.config.page_retirement:
+                    # DRAM-style handling: every line of the page is
+                    # treated as failed, wasting the whole page.
+                    for offset in range(self.geometry.lines_per_page):
+                        needs_gc |= self.collector.note_dynamic_failure(
+                            event.page_index, offset
+                        )
+                else:
+                    needs_gc |= self.collector.note_dynamic_failure(
+                        event.page_index, event.line_offset
+                    )
+            else:
+                # The MS baseline cannot relocate; the OS would have to
+                # remap the page (paper section 3.3.1). Count it only.
+                needs_gc = False
+        if needs_gc:
+            self._pending_failure_gc = True
+
+    # ------------------------------------------------------------------
+    # Physical writes (wear modelling)
+    # ------------------------------------------------------------------
+    def _write_object(self, obj: SimObject) -> None:
+        """Write the object's memory through to the PCM module."""
+        for page_index, offset, length in self._physical_extents(obj):
+            if page_index < 0:
+                continue  # borrowed DRAM page: no wear
+            self.injector.pcm.write(
+                page_index * self.geometry.page + offset, length, data=obj.oid
+            )
+
+    def _write_slot(self, obj: SimObject) -> None:
+        """Write one word of the object (a field store)."""
+        extents = self._physical_extents(obj)
+        if not extents:
+            return
+        page_index, offset, _ = extents[0]
+        if page_index < 0:
+            return
+        self.injector.pcm.write(page_index * self.geometry.page + offset, 8, data=obj.oid)
+
+    def _physical_extents(self, obj: SimObject) -> List[tuple]:
+        """(page_index, offset_in_page, length) extents covering the object."""
+        page_size = self.geometry.page
+        extents: List[tuple] = []
+        if obj.block is not None and obj.offset is not None:
+            start = obj.offset
+            end = obj.offset + obj.size
+            while start < end:
+                slot = start // page_size
+                in_page = start % page_size
+                length = min(end - start, page_size - in_page)
+                page = obj.block.pages[slot]
+                extents.append((page.index, in_page, length))
+                start += length
+        elif obj.los_placement is not None:
+            remaining = obj.size
+            for page in obj.los_placement.pages:  # empty for arraylets
+                length = min(remaining, page_size)
+                extents.append((page.index, 0, length))
+                remaining -= length
+                if remaining <= 0:
+                    break
+        return extents
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def simulated_time(self) -> float:
+        return self.cost_model.total_time(self.stats)
+
+    def simulated_ms(self) -> float:
+        return self.cost_model.total_ms(self.stats)
+
+    def heap_census(self) -> dict:
+        return self.collector.heap_census()

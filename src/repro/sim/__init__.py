@@ -1,0 +1,37 @@
+"""Experiment harness: per-run machinery, aggregation, figure harnesses,
+and the lifetime / binning / swap studies from the paper's discussion."""
+
+from .binning import evaluate_bins, render_binning_report, sample_population
+from .experiment import BenchmarkMeasurement, ExperimentRunner, geomean
+from .lifetime import (
+    LifetimeResult,
+    retire_on_first_failure_lifetime,
+    run_lifetime,
+    write_heavy,
+)
+from .machine import RunConfig, RunResult, min_heap_bytes, run_benchmark
+from .report import render_bars, render_series, render_table
+from .swap_study import SwapStudyResult, render_swap_study, run_swap_study
+
+__all__ = [
+    "evaluate_bins",
+    "render_binning_report",
+    "sample_population",
+    "BenchmarkMeasurement",
+    "ExperimentRunner",
+    "geomean",
+    "LifetimeResult",
+    "retire_on_first_failure_lifetime",
+    "run_lifetime",
+    "write_heavy",
+    "RunConfig",
+    "RunResult",
+    "min_heap_bytes",
+    "run_benchmark",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "SwapStudyResult",
+    "render_swap_study",
+    "run_swap_study",
+]

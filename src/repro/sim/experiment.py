@@ -1,0 +1,133 @@
+"""Experiment aggregation: seeds, normalization, geometric means.
+
+The paper's methodology (section 5): multiple invocations per
+configuration, geometric means across benchmarks, normalization to
+unmodified Sticky Immix, and truncated curves when a configuration
+cannot run every benchmark. These helpers implement exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from .machine import RunConfig, RunResult, run_benchmark
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; empty input returns nan."""
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """Aggregated result of one benchmark at one configuration."""
+
+    workload: str
+    completed: bool
+    mean_time: float
+    mean_ms: float
+    mean_perfect_demand: float
+    results: List[RunResult]
+
+
+class ExperimentRunner:
+    """Runs (workloads x configs x seeds) grids with caching."""
+
+    def __init__(
+        self,
+        seeds: Sequence[int] = (0, 1),
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.seeds = tuple(seeds)
+        self.cost_model = cost_model
+        self.progress = progress or (lambda message: None)
+        self._cache: Dict[RunConfig, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def run_one(self, config: RunConfig) -> RunResult:
+        cached = self._cache.get(config)
+        if cached is None:
+            cached = run_benchmark(config, self.cost_model)
+            self._cache[config] = cached
+        return cached
+
+    def measure(self, config: RunConfig) -> BenchmarkMeasurement:
+        """Run all seeds of one (workload, configuration) pair."""
+        results = [self.run_one(replace(config, seed=seed)) for seed in self.seeds]
+        completed = [r for r in results if r.completed]
+        self.progress(
+            f"{config.workload} {config.failure_model.describe()} "
+            f"L{config.immix_line} h{config.heap_multiplier:g}: "
+            f"{'ok' if completed else 'DNF'}"
+        )
+        if not completed:
+            return BenchmarkMeasurement(config.workload, False, float("nan"),
+                                        float("nan"), float("nan"), results)
+        return BenchmarkMeasurement(
+            workload=config.workload,
+            completed=True,
+            mean_time=sum(r.time_units for r in completed) / len(completed),
+            mean_ms=sum(r.time_ms for r in completed) / len(completed),
+            mean_perfect_demand=sum(r.perfect_page_demand for r in completed)
+            / len(completed),
+            results=results,
+        )
+
+    # ------------------------------------------------------------------
+    def normalized_geomean(
+        self,
+        workloads: Sequence[str],
+        config: RunConfig,
+        baseline: RunConfig,
+    ) -> Optional[float]:
+        """Geomean over benchmarks of time(config)/time(baseline).
+
+        Returns None when any benchmark fails to complete — the paper
+        discards aggregate points where some benchmark cannot run,
+        which is what truncates its curves.
+        """
+        ratios = []
+        for name in workloads:
+            measured = self.measure(replace(config, workload=name))
+            base = self.measure(replace(baseline, workload=name))
+            if not measured.completed or not base.completed:
+                return None
+            ratios.append(measured.mean_time / base.mean_time)
+        return geomean(ratios)
+
+    def per_benchmark_overheads(
+        self,
+        workloads: Sequence[str],
+        config: RunConfig,
+        baseline: RunConfig,
+    ) -> Dict[str, Optional[float]]:
+        """time(config)/time(baseline) per benchmark; None marks DNF."""
+        overheads: Dict[str, Optional[float]] = {}
+        for name in workloads:
+            measured = self.measure(replace(config, workload=name))
+            base = self.measure(replace(baseline, workload=name))
+            if not measured.completed or not base.completed:
+                overheads[name] = None
+            else:
+                overheads[name] = measured.mean_time / base.mean_time
+        return overheads
+
+    def geomean_demand(
+        self, workloads: Sequence[str], config: RunConfig
+    ) -> Optional[float]:
+        """Geomean perfect-page demand (figure 9b's metric)."""
+        demands = []
+        for name in workloads:
+            measured = self.measure(replace(config, workload=name))
+            if not measured.completed:
+                return None
+            demands.append(max(1.0, measured.mean_perfect_demand))
+        return geomean(demands)

@@ -1,0 +1,135 @@
+"""One benchmark run: workload x heap x collector x failure model.
+
+This is the reproduction's unit of measurement, equivalent to one
+invocation of a DaCapo benchmark in the paper's harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional
+
+from ..errors import OutOfMemoryError
+from ..faults.generator import FailureModel
+from ..hardware.geometry import Geometry
+from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from ..runtime.vm import VirtualMachine, VmConfig
+from ..workloads.dacapo import workload
+from ..workloads.driver import TraceDriver, estimate_min_heap
+from ..workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything defining one run, hashable for caching/reporting."""
+
+    workload: str
+    heap_multiplier: float = 2.0
+    collector: str = "sticky-immix"
+    failure_model: FailureModel = field(default_factory=FailureModel)
+    immix_line: int = 256
+    region_pages: int = 2
+    compensate: bool = True
+    #: Discontiguous arrays instead of the page-grained LOS.
+    arraylets: bool = False
+    seed: int = 0
+    #: Scale factor on total allocation (quick benchmark modes).
+    scale: float = 1.0
+
+    def geometry(self) -> Geometry:
+        return Geometry(immix_line=self.immix_line, region_pages=self.region_pages)
+
+    def spec(self) -> WorkloadSpec:
+        spec = workload(self.workload)
+        if self.scale != 1.0:
+            spec = spec.scaled(self.scale)
+        return spec
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    config: RunConfig
+    completed: bool
+    time_units: float
+    time_ms: float
+    stats: dict
+    heap_bytes: int
+    min_heap_bytes: int
+    perfect_page_demand: int
+    borrowed_pages: int
+    full_gc_pause_ms: float
+    failure_note: str = ""
+
+    @property
+    def dnf(self) -> bool:
+        return not self.completed
+
+
+@lru_cache(maxsize=512)
+def _min_heap(workload_name: str, immix_line: int, region_pages: int, scale: float) -> int:
+    geometry = Geometry(immix_line=immix_line, region_pages=region_pages)
+    spec = workload(workload_name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return estimate_min_heap(spec, geometry=geometry)
+
+
+def min_heap_bytes(config: RunConfig) -> int:
+    return _min_heap(
+        config.workload, config.immix_line, config.region_pages, config.scale
+    )
+
+
+def run_benchmark(
+    config: RunConfig, cost_model: CostModel = DEFAULT_COST_MODEL
+) -> RunResult:
+    """Execute one benchmark invocation; never raises on heap exhaustion.
+
+    A workload that cannot complete in its configured heap — the paper's
+    "some configurations cannot execute some of the benchmarks" — comes
+    back with ``completed=False`` so aggregation can truncate curves the
+    way the paper's figures do.
+    """
+    geometry = config.geometry()
+    spec = config.spec()
+    min_heap = min_heap_bytes(config)
+    heap = int(min_heap * config.heap_multiplier)
+    vm_config = VmConfig(
+        heap_bytes=heap,
+        geometry=geometry,
+        collector=config.collector,
+        failure_model=config.failure_model,
+        compensate=config.compensate,
+        arraylets=config.arraylets,
+        seed=config.seed,
+    )
+    vm = VirtualMachine(vm_config, cost_model=cost_model)
+    completed = True
+    note = ""
+    try:
+        TraceDriver(spec, config.seed).run(vm)
+    except OutOfMemoryError as exc:
+        completed = False
+        note = str(exc)
+    stats = vm.stats
+    # Pause estimation needs the live volume a full-heap trace would
+    # visit; benchmarks that never escalated past nursery collections
+    # fall back to the workload's peak live set (min heap / headroom).
+    mean_live = stats.mean_full_gc_live_bytes() or min_heap / 1.3
+    lines_est = heap // geometry.immix_line
+    return RunResult(
+        config=config,
+        completed=completed,
+        time_units=cost_model.total_time(stats),
+        time_ms=cost_model.total_ms(stats),
+        stats=stats.snapshot(),
+        heap_bytes=heap,
+        min_heap_bytes=min_heap,
+        perfect_page_demand=vm.supply.accountant.total_perfect_demand,
+        borrowed_pages=vm.supply.accountant.borrowed,
+        full_gc_pause_ms=cost_model.full_gc_pause_ms(int(mean_live), lines_est),
+        failure_note=note,
+    )

@@ -1,0 +1,94 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = List[Tuple[float, Optional[float]]]
+
+
+def format_value(value: Optional[float], precision: int = 3) -> str:
+    if value is None:
+        return "DNF"
+    if value != value:  # NaN
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Tuple[str, Sequence[Optional[float]]]],
+    precision: int = 3,
+) -> str:
+    """A fixed-width table: one label column plus value columns."""
+    label_width = max([len("benchmark")] + [len(label) for label, _ in rows])
+    col_width = max([10] + [len(c) for c in columns]) + 2
+    lines = [title, "=" * len(title)]
+    header = "benchmark".ljust(label_width) + "".join(
+        c.rjust(col_width) for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = "".join(
+            format_value(v, precision).rjust(col_width) for v in values
+        )
+        lines.append(label.ljust(label_width) + cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series_by_name: Dict[str, Series],
+    x_label: str,
+    y_label: str,
+    precision: int = 3,
+) -> str:
+    """Aligned multi-series listing: one row per x value."""
+    xs: List[float] = sorted(
+        {x for series in series_by_name.values() for x, _ in series}
+    )
+    names = list(series_by_name)
+    lookup = {
+        name: {x: y for x, y in series} for name, series in series_by_name.items()
+    }
+    label_width = max(len(x_label), 10)
+    col_width = max([12] + [len(n) for n in names]) + 2
+    lines = [title, "=" * len(title), f"y = {y_label}"]
+    header = x_label.ljust(label_width) + "".join(n.rjust(col_width) for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        row = _format_x(x).ljust(label_width)
+        for name in names:
+            row += format_value(lookup[name].get(x), precision).rjust(col_width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:g}"
+
+
+def render_bars(
+    title: str, values: Dict[str, Optional[float]], unit: str = "x", width: int = 40
+) -> str:
+    """Horizontal ASCII bars, e.g. per-benchmark overheads."""
+    finite = [v for v in values.values() if v is not None and v == v]
+    top = max(finite) if finite else 1.0
+    label_width = max(len(k) for k in values) if values else 8
+    lines = [title, "=" * len(title)]
+    for name, value in values.items():
+        if value is None or value != value:
+            lines.append(f"{name.ljust(label_width)}  DNF")
+            continue
+        bar = "#" * max(1, int(width * value / top))
+        lines.append(f"{name.ljust(label_width)}  {value:7.3f}{unit} {bar}")
+    return "\n".join(lines)

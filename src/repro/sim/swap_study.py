@@ -1,0 +1,148 @@
+"""Swap-destination compatibility as memory ages (paper section 3.2.3).
+
+When the OS swaps an imperfect page back in, the cheap options are an
+imperfect page whose holes are a *subset* of the source's (rarely found
+— Ipek et al. observed such matching has limited efficacy) or, under
+failure clustering, any page with the same number or fewer failures
+(holes sit at a known end, so counting suffices). Failing both, a
+scarce perfect page must be spent.
+
+:func:`run_swap_study` ages a set of pages to a target failure level,
+runs randomized swap traffic through :class:`repro.osim.swap.Swapper`,
+and reports how often each destination strategy succeeded — the
+quantitative form of the paper's "failure clustering helps solve this
+problem".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.geometry import Geometry
+from ..osim.pools import PagePools
+from ..osim.swap import Swapper
+from ..errors import OutOfMemoryError
+
+
+@dataclass
+class SwapStudyResult:
+    """Outcome of one aging level x clustering configuration."""
+
+    failure_rate: float
+    clustered: bool
+    swaps: int
+    perfect_spent: int
+    subset_hits: int
+    clustered_hits: int
+    failed_swap_ins: int
+
+    @property
+    def cheap_hit_rate(self) -> float:
+        """Fraction of swap-ins served without spending a perfect page."""
+        if self.swaps == 0:
+            return 0.0
+        return (self.subset_hits + self.clustered_hits) / self.swaps
+
+    @property
+    def stall_rate(self) -> float:
+        """Fraction of swap-in attempts that found no destination at all
+        and had to wait (the cost of incompatibility)."""
+        attempts = self.swaps + self.failed_swap_ins
+        if attempts == 0:
+            return 0.0
+        return self.failed_swap_ins / attempts
+
+
+def _age_pools(
+    n_pages: int,
+    failure_rate: float,
+    clustered: bool,
+    geometry: Geometry,
+    rng: random.Random,
+) -> PagePools:
+    """Pools whose pages carry the target per-line failure level."""
+    pools = PagePools(n_pages)
+    per_page = geometry.lines_per_page
+    for index in range(n_pages):
+        failed = [o for o in range(per_page) if rng.random() < failure_rate]
+        if clustered and failed:
+            # Clustering hardware packs a page's failures at one end.
+            failed = list(range(len(failed)))
+        for offset in failed:
+            pools.page(index).record_failure(offset)
+        if failed:
+            pools.note_page_degraded(index)
+    return pools
+
+
+def run_swap_study(
+    failure_rate: float,
+    clustered: bool,
+    n_pages: int = 256,
+    swaps: int = 400,
+    resident_fraction: float = 0.5,
+    geometry: Optional[Geometry] = None,
+    seed: int = 0,
+) -> SwapStudyResult:
+    """Randomized swap traffic over an aged page pool."""
+    geometry = geometry or Geometry()
+    rng = random.Random(seed)
+    pools = _age_pools(n_pages, failure_rate, clustered, geometry, rng)
+    swapper = Swapper(pools, clustering_enabled=clustered)
+    # Residency: some pages are in use (candidates for swap-out).
+    resident = []
+    for _ in range(int(n_pages * resident_fraction)):
+        page = pools.take_any_pcm()
+        resident.append(page)
+    slots = []
+    others = []  # frames grabbed by other processes after an eviction
+    failed_swap_ins = 0
+    for _ in range(swaps):
+        if slots and (not resident or rng.random() < 0.5):
+            if others and rng.random() < 0.7:
+                # Another process releases a frame eventually.
+                pools.release(others.pop(rng.randrange(len(others))).index)
+            slot = slots.pop(rng.randrange(len(slots)))
+            try:
+                resident.append(swapper.swap_in(slot))
+            except OutOfMemoryError:
+                failed_swap_ins += 1
+                slots.append(slot)
+        elif resident:
+            page = resident.pop(rng.randrange(len(resident)))
+            slots.append(swapper.swap_out(page, payload=None))
+            # A page is evicted because memory is tight: its own frame
+            # is snapped up immediately by whoever caused the pressure,
+            # so a later swap-in cannot simply land back on the
+            # identical hole pattern.
+            taken = pools.take_page(page.index)
+            if taken is not None:
+                others.append(taken)
+    return SwapStudyResult(
+        failure_rate=failure_rate,
+        clustered=clustered,
+        swaps=swapper.stats.swapped_in,
+        perfect_spent=swapper.stats.perfect_destinations,
+        subset_hits=swapper.stats.subset_destinations,
+        clustered_hits=swapper.stats.clustered_destinations,
+        failed_swap_ins=failed_swap_ins,
+    )
+
+
+def render_swap_study(results: Dict[str, SwapStudyResult]) -> str:
+    lines = [
+        "Swap-in destination strategies as memory ages (section 3.2.3)",
+        "=" * 62,
+        f"{'configuration':26s} {'swap-ins':>9s} {'subset':>7s} "
+        f"{'clustered':>10s} {'perfect':>8s} {'stalled':>8s}",
+        "-" * 74,
+    ]
+    for label, r in results.items():
+        lines.append(
+            f"{label:26s} {r.swaps:>9d} {r.subset_hits:>7d} "
+            f"{r.clustered_hits:>10d} {r.perfect_spent:>8d} "
+            f"{r.stall_rate:>7.1%}"
+        )
+    return "\n".join(lines)

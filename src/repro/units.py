@@ -1,0 +1,80 @@
+"""Byte-size units and helpers used throughout the simulator.
+
+All sizes in this code base are plain integers counting bytes. These
+constants and helpers exist so that configuration code reads like the
+paper ("4 KB pages, 64 B lines, 32 KB blocks") rather than like a wall
+of zeros.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: PCM line size assumed by the paper (granularity of hardware writes
+#: and of the failure map).
+PCM_LINE_BYTES = 64
+
+#: Page size assumed by the paper.
+PAGE_BYTES = 4 * KiB
+
+#: Default Immix block size (the paper uses 32 KB).
+BLOCK_BYTES = 32 * KiB
+
+#: Default Immix logical line size (the paper's best performer).
+IMMIX_LINE_BYTES = 256
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count the way the paper writes sizes (``64 B``, ``4 KB``).
+
+    >>> format_size(64)
+    '64B'
+    >>> format_size(4096)
+    '4KB'
+    >>> format_size(3 * 1024 * 1024)
+    '3MB'
+    """
+    if num_bytes % MiB == 0 and num_bytes >= MiB:
+        return f"{num_bytes // MiB}MB"
+    if num_bytes % KiB == 0 and num_bytes >= KiB:
+        return f"{num_bytes // KiB}KB"
+    return f"{num_bytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse sizes like ``"64B"``, ``"4KB"``, ``"32 KB"``, ``"2MB"``.
+
+    Accepts an optional space between number and unit, and both ``KB``
+    and ``KiB`` spellings (both mean 1024).
+    """
+    cleaned = text.strip().upper().replace(" ", "")
+    for suffix, factor in (
+        ("GIB", GiB),
+        ("GB", GiB),
+        ("MIB", MiB),
+        ("MB", MiB),
+        ("KIB", KiB),
+        ("KB", KiB),
+        ("B", 1),
+    ):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return int(number) * factor
+    return int(cleaned)

@@ -1,0 +1,202 @@
+"""Synthetic stand-ins for the paper's DaCapo benchmarks (section 5).
+
+The paper runs the superset of DaCapo 9.12-bach and DaCapo-2006-10 that
+works on Jikes RVM. Each entry below is a :class:`WorkloadSpec` tuned to
+that benchmark's role in the paper's narrative:
+
+* **pmd, jython** — allocate many *medium* objects, which makes finding
+  contiguous free memory hard under failures; the paper reports them as
+  the workloads with the highest overheads (pmd peaks at 40 % at 50 %
+  failures) and as very sensitive to the two-page clustering threshold.
+* **xalan** — predominantly allocates very large objects, so it leans
+  on the perfect pages two-page clustering manufactures and is "quite
+  resilient to failures"; it makes very heavy use of perfect pages.
+* **hsqldb** — the largest live set (the paper's worst full-heap pause,
+  44 ms vs the 7 ms average); **fop** next (22 ms).
+* **lusearch** — the buggy version allocates a large data structure in
+  a hot loop, driving an allocation rate 3x any other benchmark; the
+  patched **lusearch-fix** removes the pathology. The paper reports the
+  buggy version only for completeness and excludes it from analysis.
+
+Absolute volumes are scaled down ~50x from the real suite so that a
+full experiment grid runs in minutes of simulation; the *ratios* that
+drive the paper's effects (live/heap, medium fraction, large fraction,
+relative allocation rates) are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..units import KiB, MiB
+from .spec import LARGE, MEDIUM, SMALL, SizeBand, WorkloadSpec
+
+DACAPO: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="antlr",
+        description="parser generator: small-object heavy, modest live set",
+        total_alloc_bytes=int(12 * MiB),
+        immortal_bytes=280 * KiB,
+        short_lifetime_bytes=130 * KiB,
+        long_lifetime_bytes=int(1.2 * MiB),
+        long_fraction=0.06,
+        size_weights=(0.952, 0.044, 0.004),
+    ),
+    WorkloadSpec(
+        name="avrora",
+        description="AVR microcontroller simulator: tiny objects, low rate",
+        total_alloc_bytes=int(7 * MiB),
+        immortal_bytes=200 * KiB,
+        short_lifetime_bytes=100 * KiB,
+        long_lifetime_bytes=1 * MiB,
+        long_fraction=0.05,
+        size_weights=(0.96, 0.037, 0.003),
+    ),
+    WorkloadSpec(
+        name="bloat",
+        description="bytecode optimizer: high churn of small objects",
+        total_alloc_bytes=int(15 * MiB),
+        immortal_bytes=240 * KiB,
+        short_lifetime_bytes=110 * KiB,
+        long_lifetime_bytes=int(1.1 * MiB),
+        long_fraction=0.05,
+        size_weights=(0.955, 0.042, 0.003),
+        cohort_size=32,
+    ),
+    WorkloadSpec(
+        name="eclipse",
+        description="IDE workload: large live set, mixed sizes",
+        total_alloc_bytes=int(16 * MiB),
+        immortal_bytes=850 * KiB,
+        short_lifetime_bytes=180 * KiB,
+        long_lifetime_bytes=int(2.2 * MiB),
+        long_fraction=0.08,
+        size_weights=(0.948, 0.048, 0.004),
+    ),
+    WorkloadSpec(
+        name="fop",
+        description="XSL-FO to PDF: big live document tree, wide medium "
+        "objects",
+        total_alloc_bytes=int(9 * MiB),
+        immortal_bytes=780 * KiB,
+        short_lifetime_bytes=220 * KiB,
+        long_lifetime_bytes=int(1.9 * MiB),
+        long_fraction=0.10,
+        size_weights=(0.954, 0.0414, 0.0044),
+        medium=SizeBand(400, 6 * KiB),
+        cohort_size=16,
+    ),
+    WorkloadSpec(
+        name="hsqldb",
+        description="in-memory SQL database: the largest live set",
+        total_alloc_bytes=int(10 * MiB),
+        immortal_bytes=int(1.4 * MiB),
+        short_lifetime_bytes=260 * KiB,
+        long_lifetime_bytes=int(2.8 * MiB),
+        long_fraction=0.12,
+        size_weights=(0.94, 0.056, 0.004),
+    ),
+    WorkloadSpec(
+        name="jython",
+        description="Python on the JVM: many medium objects (frames, "
+        "dicts, call structures) ranging up to the LOS threshold",
+        total_alloc_bytes=int(14 * MiB),
+        immortal_bytes=380 * KiB,
+        short_lifetime_bytes=140 * KiB,
+        long_lifetime_bytes=int(1.4 * MiB),
+        long_fraction=0.06,
+        size_weights=(0.960, 0.037, 0.0032),
+        medium=SizeBand(400, 7 * KiB),
+    ),
+    WorkloadSpec(
+        name="luindex",
+        description="lucene indexing: small objects, low allocation",
+        total_alloc_bytes=int(6 * MiB),
+        immortal_bytes=230 * KiB,
+        short_lifetime_bytes=110 * KiB,
+        long_lifetime_bytes=1 * MiB,
+        long_fraction=0.05,
+        size_weights=(0.958, 0.039, 0.003),
+    ),
+    WorkloadSpec(
+        name="lusearch",
+        description="lucene search, BUGGY: large temporary arrays in a "
+        "hot loop, ~3x the allocation rate of any other benchmark",
+        total_alloc_bytes=int(27 * MiB),
+        immortal_bytes=280 * KiB,
+        short_lifetime_bytes=90 * KiB,
+        long_lifetime_bytes=800 * KiB,
+        long_fraction=0.03,
+        size_weights=(0.94, 0.048, 0.012),
+        cohort_size=16,
+    ),
+    WorkloadSpec(
+        name="lusearch-fix",
+        description="lucene search with the allocation bug patched",
+        total_alloc_bytes=int(9 * MiB),
+        immortal_bytes=280 * KiB,
+        short_lifetime_bytes=90 * KiB,
+        long_lifetime_bytes=800 * KiB,
+        long_fraction=0.03,
+        size_weights=(0.948, 0.047, 0.005),
+        cohort_size=16,
+    ),
+    WorkloadSpec(
+        name="pmd",
+        description="source analyzer: medium-object heavy AST churn, "
+        "with medium sizes ranging up to the LOS threshold",
+        total_alloc_bytes=int(12 * MiB),
+        immortal_bytes=680 * KiB,
+        short_lifetime_bytes=190 * KiB,
+        long_lifetime_bytes=int(1.9 * MiB),
+        long_fraction=0.10,
+        size_weights=(0.956, 0.039, 0.0044),
+        medium=SizeBand(400, 7 * KiB),
+    ),
+    WorkloadSpec(
+        name="sunflow",
+        description="ray tracer: torrent of tiny short-lived objects",
+        total_alloc_bytes=int(16 * MiB),
+        immortal_bytes=240 * KiB,
+        short_lifetime_bytes=70 * KiB,
+        long_lifetime_bytes=700 * KiB,
+        long_fraction=0.04,
+        size_weights=(0.965, 0.032, 0.003),
+        cohort_size=32,
+    ),
+    WorkloadSpec(
+        name="xalan",
+        description="XSLT processor: very large objects dominate bytes",
+        total_alloc_bytes=int(14 * MiB),
+        immortal_bytes=480 * KiB,
+        short_lifetime_bytes=140 * KiB,
+        long_lifetime_bytes=int(1.4 * MiB),
+        long_fraction=0.06,
+        size_weights=(0.938, 0.05, 0.012),
+        cohort_size=12,
+    ),
+)
+
+#: The paper grays out buggy lusearch and excludes it from analysis.
+ANALYSIS_EXCLUDED = ("lusearch",)
+
+BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in DACAPO}
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a benchmark by name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(BY_NAME))}"
+        ) from None
+
+
+def analysis_suite() -> List[WorkloadSpec]:
+    """The benchmarks the paper aggregates over (buggy lusearch excluded)."""
+    return [spec for spec in DACAPO if spec.name not in ANALYSIS_EXCLUDED]
+
+
+def full_suite() -> List[WorkloadSpec]:
+    return list(DACAPO)

@@ -1,0 +1,183 @@
+"""The trace driver: turns a :class:`WorkloadSpec` into allocations.
+
+One driver, two sinks:
+
+* a :class:`VirtualMachine` — the real run;
+* :class:`LivenessProbe` — a VM-free dry run that tracks live bytes, used
+  to determine each benchmark's *minimum heap* (the paper sizes every
+  experiment as a multiple of the per-benchmark minimum).
+
+Because lifetimes are measured in allocated bytes, the driver advances
+its own clock (in aligned object footprints), and all randomness comes
+from the seeded generator, the event stream is identical for every
+sink, collector, and failure configuration: only the memory manager's
+reaction differs, exactly like replay methodology in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hardware.geometry import Geometry
+from ..heap.object_model import aligned_size
+from ..units import KiB
+from .spec import WorkloadSpec
+
+
+class LivenessProbe:
+    """A sink that only tracks liveness (for min-heap estimation)."""
+
+    def __init__(self, geometry: Optional[Geometry] = None) -> None:
+        self.geometry = geometry or Geometry()
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self._cohort_bytes: dict = {}
+        self._next_id = 0
+        self.objects_allocated = 0
+
+    class _Stub:
+        __slots__ = ("oid", "size")
+
+        def __init__(self, oid: int, size: int) -> None:
+            self.oid = oid
+            self.size = size
+
+    def _footprint(self, size: int) -> int:
+        total = aligned_size(size)
+        if total > 8 * KiB:  # large objects occupy whole pages
+            page = self.geometry.page
+            total = (total + page - 1) // page * page
+        return total
+
+    def alloc(self, size: int, pinned: bool = False):
+        stub = self._Stub(self._next_id, self._footprint(size))
+        self._next_id += 1
+        self.objects_allocated += 1
+        self.live_bytes += stub.size
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        return stub
+
+    def add_root(self, obj) -> None:
+        self._cohort_bytes[obj.oid] = obj.size
+
+    def remove_root(self, obj) -> None:
+        self.live_bytes -= self._cohort_bytes.pop(obj.oid)
+
+    def add_ref(self, parent, child) -> None:
+        # Cohort members live and die with their head.
+        self._cohort_bytes[parent.oid] += child.size
+
+    def mutate(self, obj) -> None:
+        return None
+
+
+@dataclass
+class DriveResult:
+    """Summary of one driven run."""
+
+    allocated_objects: int
+    allocated_bytes: int
+    cohorts: int
+    expired_cohorts: int
+
+
+class TraceDriver:
+    """Drives a sink through one iteration of a workload."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    def run(self, sink) -> DriveResult:
+        spec = self.spec
+        rng = random.Random((self.seed << 16) ^ hash(spec.name) & 0xFFFF)
+        clock = 0
+        cohorts = 0
+        expired = 0
+        objects = 0
+        # (death_clock, sequence, head) — sequence breaks ties.
+        pending: List[tuple] = []
+        sequence = 0
+
+        # --------------------------------------------------------------
+        # Immortal data: rooted once, never removed.
+        # --------------------------------------------------------------
+        immortal = 0
+        while immortal < spec.immortal_bytes:
+            head_size = spec.small.sample(rng)
+            head = sink.alloc(head_size)
+            sink.add_root(head)
+            immortal += aligned_size(head_size)
+            objects += 1
+            for _ in range(spec.cohort_size - 1):
+                if immortal >= spec.immortal_bytes:
+                    break
+                child_size = spec.sample_size(rng)
+                child = sink.alloc(child_size)
+                sink.add_ref(head, child)
+                immortal += aligned_size(child_size)
+                objects += 1
+        clock += immortal
+
+        # --------------------------------------------------------------
+        # Churn: cohorts with sampled lifetimes.
+        # --------------------------------------------------------------
+        mutation_budget = 0.0
+        while clock < spec.total_alloc_bytes:
+            while pending and pending[0][0] <= clock:
+                _, _, dead_head = heapq.heappop(pending)
+                sink.remove_root(dead_head)
+                expired += 1
+            head_size = spec.small.sample(rng)
+            head = sink.alloc(head_size)
+            sink.add_root(head)
+            clock += aligned_size(head_size)
+            objects += 1
+            cohorts += 1
+            lifetime = spec.sample_lifetime(rng)
+            heapq.heappush(pending, (clock + lifetime, sequence, head))
+            sequence += 1
+            for _ in range(spec.cohort_size - 1):
+                pinned = rng.random() < spec.pinned_fraction
+                child_size = spec.sample_size(rng)
+                child = sink.alloc(child_size, pinned=pinned)
+                sink.add_ref(head, child)
+                clock += aligned_size(child_size)
+                objects += 1
+                if spec.mutations_per_object > 0:
+                    mutation_budget += spec.mutations_per_object
+                    while mutation_budget >= 1.0:
+                        sink.mutate(child)
+                        mutation_budget -= 1.0
+                if clock >= spec.total_alloc_bytes:
+                    break
+        return DriveResult(
+            allocated_objects=objects,
+            allocated_bytes=clock,
+            cohorts=cohorts,
+            expired_cohorts=expired,
+        )
+
+
+def estimate_min_heap(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    geometry: Optional[Geometry] = None,
+    headroom: float = 1.30,
+) -> int:
+    """The benchmark's minimum heap, block-aligned (paper section 5).
+
+    A dry run measures peak live bytes; the minimum workable heap adds
+    collector headroom (a heap exactly equal to peak live thrashes).
+    The estimate is collector-independent, as in the paper, which picks
+    one minimum per benchmark and sizes all configurations from it.
+    """
+    geometry = geometry or Geometry()
+    probe = LivenessProbe(geometry)
+    TraceDriver(spec, seed).run(probe)
+    raw = int(probe.peak_live_bytes * headroom) + 2 * geometry.block
+    block = geometry.block
+    return (raw + block - 1) // block * block

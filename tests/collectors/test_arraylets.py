@@ -1,0 +1,117 @@
+"""Tests for discontiguous-array (arraylet) allocation."""
+
+import pytest
+
+from repro.collectors.immix import ImmixCollector, ImmixConfig
+from repro.hardware.geometry import Geometry
+from repro.heap.object_model import ObjectFactory
+
+from .conftest import assert_heap_consistent, build_supply
+
+G = Geometry()
+
+
+def make_collector(n_blocks=8, failure_map=None, arraylet_bytes=2048):
+    supply = build_supply(n_blocks, failure_map)
+    factory = ObjectFactory()
+    collector = ImmixCollector(
+        supply,
+        G,
+        config=ImmixConfig(
+            generational=True, arraylets=True, arraylet_bytes=arraylet_bytes
+        ),
+        factory=factory,
+    )
+    return collector, factory
+
+
+class TestAllocation:
+    def test_large_object_becomes_chunks(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        assert collector.allocate(obj)
+        assert obj.is_large
+        placement = obj.los_placement
+        assert placement.n_pages == 0
+        # ceil(obj.size / 2048) chunks, all placed in block space.
+        expected = -(-obj.size // 2048)
+        assert len(placement.chunks) == expected
+        assert collector.stats.arraylet_spines == 1
+        assert collector.stats.arraylet_chunks == expected
+        assert len(collector.los) == 0  # nothing touched the page LOS
+        for chunk in placement.chunks:
+            assert chunk.block is not None
+
+    def test_spine_references_keep_chunks_alive(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        collector.allocate(obj)
+        chunks = set(obj.los_placement.chunks)
+        collector.collect_full([obj])
+        survivors = {o for b in collector.blocks for o in b.objects}
+        assert chunks <= survivors
+
+    def test_chunks_die_with_spine(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        collector.allocate(obj)
+        collector.collect_full([])  # spine unreachable
+        assert all(not b.objects for b in collector.blocks)
+
+    def test_no_perfect_pages_consumed(self):
+        # Every page imperfect: the page-grained LOS would have to
+        # borrow; arraylets place everything in line space.
+        failure_map = {page: {0} for page in range(8 * G.pages_per_block)}
+        collector, factory = make_collector(failure_map=failure_map)
+        obj = factory.make(16 * 1024)
+        assert collector.allocate(obj)
+        assert collector.supply.accountant.borrowed == 0
+        assert_heap_consistent(collector)
+
+    def test_small_arraylets_avoid_medium_runs(self):
+        collector, factory = make_collector(arraylet_bytes=240)
+        obj = factory.make(4 * 1024 + 8200)  # forces the large path
+        assert collector.allocate(obj)
+        line = G.immix_line
+        for chunk in obj.los_placement.chunks:
+            assert chunk.size <= line
+
+    def test_rollback_on_exhaustion(self):
+        collector, factory = make_collector(n_blocks=1)
+        big = factory.make(64 * 1024)  # cannot fit in one block
+        assert not collector.allocate(big)
+        # All partially placed chunks were rolled back.
+        placed = sum(len(b.objects) for b in collector.blocks)
+        assert placed == 0
+
+    def test_virtual_base_is_first_chunk(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        collector.allocate(obj)
+        assert obj.address == obj.los_placement.chunks[0].address
+
+
+class TestGenerationalInterplay:
+    def test_chunks_survive_nursery_via_spine(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        collector.allocate(obj)
+        collector.collect_nursery([obj])
+        survivors = {o for b in collector.blocks for o in b.objects}
+        assert set(obj.los_placement.chunks) <= survivors
+        assert all(chunk.old for chunk in obj.los_placement.chunks)
+
+    def test_chunk_evacuation_on_dynamic_failure(self):
+        collector, factory = make_collector()
+        obj = factory.make(20 * 1024)
+        collector.allocate(obj)
+        chunk = obj.los_placement.chunks[0]
+        block = chunk.block
+        page = block.pages[block.page_slot_of_line(chunk.line_span(G.immix_line)[0])]
+        needs_gc = collector.note_dynamic_failure(
+            page.index, (chunk.offset % G.page) // G.pcm_line
+        )
+        assert needs_gc
+        collector.collect_full([obj])
+        assert chunk.moved_count >= 0  # moved or its line unaffected
+        assert_heap_consistent(collector)

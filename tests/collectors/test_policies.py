@@ -1,0 +1,123 @@
+"""Tests for collection policies: escalation, overflow protocol, census."""
+
+import random
+
+from repro.collectors.immix import ImmixCollector, ImmixConfig
+from repro.hardware.geometry import Geometry
+from repro.heap.object_model import ObjectFactory
+
+from .conftest import build_supply
+
+G = Geometry()
+
+
+def make(n_blocks=8, failure_map=None, **cfg):
+    supply = build_supply(n_blocks, failure_map)
+    return ImmixCollector(supply, G, config=ImmixConfig(**cfg)), ObjectFactory()
+
+
+class TestStickyEscalation:
+    def test_non_generational_always_full(self):
+        collector, factory = make(generational=False)
+        obj = factory.make(64)
+        collector.allocate(obj)
+        assert collector.should_collect_full()
+        collector.collect([obj])
+        assert collector.stats.full_collections == 1
+        assert collector.stats.nursery_collections == 0
+
+    def test_generational_prefers_nursery(self):
+        collector, factory = make(generational=True)
+        obj = factory.make(64)
+        collector.allocate(obj)
+        collector.collect([obj])
+        assert collector.stats.nursery_collections == 1
+
+    def test_force_full_overrides(self):
+        collector, factory = make(generational=True)
+        obj = factory.make(64)
+        collector.allocate(obj)
+        collector.collect([obj], force_full=True)
+        assert collector.stats.full_collections == 1
+
+    def test_escalates_after_cap(self):
+        collector, factory = make(generational=True)
+        obj = factory.make(64)
+        collector.allocate(obj)
+        for _ in range(16):
+            collector.collect_nursery([obj])
+        assert collector.should_collect_full()
+
+    def test_escalates_when_free_space_low(self):
+        # Fill the heap with live data so nursery yield stays tiny.
+        collector, factory = make(n_blocks=2, generational=True)
+        keep = []
+        while True:
+            obj = factory.make(2000)
+            if not collector.allocate(obj):
+                break
+            keep.append(obj)
+        collector.collect(keep)
+        # A nursery ran and found nothing; policy escalated to full.
+        assert collector.stats.full_collections >= 1
+
+
+class TestCollectBeforePerfect:
+    def fill_imperfect(self, collector, factory, roots):
+        """Exhaust contiguous space so a medium must overflow."""
+        rng = random.Random(0)
+        while True:
+            obj = factory.make(rng.choice([40, 80]))
+            if not collector.allocate(obj):
+                break
+            if rng.random() < 0.5:
+                roots.append(obj)
+
+    def test_default_defers_perfect_until_after_gc(self):
+        failure_map = {
+            page: set(range(0, 64, 3)) for page in range(2 * G.pages_per_block)
+        }
+        collector, factory = make(
+            n_blocks=4, failure_map=failure_map, generational=True,
+            collect_before_perfect=True,
+        )
+        roots = []
+        self.fill_imperfect(collector, factory, roots)
+        medium = factory.make(4000)
+        assert not collector.allocate(medium)  # must collect first
+        before = collector.stats.perfect_block_requests
+        collector.collect_full(roots)
+        collector.allocate(medium, after_gc=True)
+        assert collector.stats.perfect_block_requests >= before
+
+    def test_ablation_serves_perfect_immediately(self):
+        failure_map = {
+            page: set(range(0, 64, 2)) for page in range(4 * G.pages_per_block)
+        }
+        collector, factory = make(
+            n_blocks=4, failure_map=failure_map, generational=True,
+            collect_before_perfect=False,
+        )
+        roots = []
+        self.fill_imperfect(collector, factory, roots)
+        # Half of every page failed: an 8 KB-run medium cannot fit in
+        # line space, and without the protocol gate the allocator goes
+        # straight to the perfect/borrow path on the first attempt.
+        medium = factory.make(7500)
+        placed = collector.allocate(medium)
+        assert collector.stats.perfect_block_requests >= 1 or not placed
+
+
+class TestCensus:
+    def test_census_shape(self):
+        collector, factory = make()
+        collector.allocate(factory.make(64))
+        collector.allocate(factory.make(20_000))
+        census = collector.heap_census()
+        assert census["blocks"] >= 1
+        assert census["los_objects"] == 1
+        assert census["free_pages"] >= 0
+        assert set(census) == {
+            "blocks", "recycled", "los_objects", "free_pages",
+            "failed_lines", "free_lines",
+        }

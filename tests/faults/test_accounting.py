@@ -1,0 +1,82 @@
+"""Tests for the debit-credit perfect-page accounting."""
+
+import pytest
+
+from repro.faults.accounting import PerfectPageAccountant
+
+
+class TestDebitCredit:
+    def test_perfect_hit_creates_no_debt(self):
+        acct = PerfectPageAccountant()
+        acct.record_perfect_hit()
+        assert acct.debt == 0
+        assert acct.total_perfect_demand == 1
+        assert acct.satisfied_from_pcm == 1
+
+    def test_borrow_creates_debt_and_penalty(self):
+        acct = PerfectPageAccountant()
+        acct.borrow()
+        assert acct.debt == 1
+        assert acct.space_penalty_pages == 1
+        assert acct.borrowed == 1
+
+    def test_relaxed_keeps_page_without_debt(self):
+        acct = PerfectPageAccountant()
+        assert acct.offer_perfect_to_relaxed()
+        assert acct.repaid == 0
+
+    def test_relaxed_surrenders_page_to_repay(self):
+        acct = PerfectPageAccountant()
+        acct.borrow()
+        assert not acct.offer_perfect_to_relaxed()
+        assert acct.debt == 0
+        assert acct.repaid == 1
+        # Next offer is keepable again.
+        assert acct.offer_perfect_to_relaxed()
+
+    def test_peak_debt_tracked(self):
+        acct = PerfectPageAccountant()
+        for _ in range(3):
+            acct.borrow()
+        acct.offer_perfect_to_relaxed()
+        acct.borrow()
+        assert acct.peak_debt == 3
+        assert acct.debt == 3
+
+    def test_bulk_counts(self):
+        acct = PerfectPageAccountant()
+        acct.record_perfect_hit(4)
+        acct.borrow(2)
+        assert acct.total_perfect_demand == 6
+        assert acct.debt == 2
+
+    def test_counts_must_be_positive(self):
+        acct = PerfectPageAccountant()
+        with pytest.raises(ValueError):
+            acct.record_perfect_hit(0)
+        with pytest.raises(ValueError):
+            acct.borrow(0)
+
+    def test_demand_log_checkpoints(self):
+        acct = PerfectPageAccountant()
+        acct.record_perfect_hit()
+        acct.checkpoint_demand()
+        acct.borrow()
+        acct.checkpoint_demand()
+        assert acct.demand_log == [1, 2]
+
+    def test_summary_shape(self):
+        acct = PerfectPageAccountant()
+        acct.borrow()
+        summary = acct.summary()
+        assert summary["perfect_demand"] == 1
+        assert summary["borrowed"] == 1
+        assert summary["outstanding_debt"] == 1
+        assert set(summary) == {
+            "perfect_demand",
+            "satisfied_from_pcm",
+            "borrowed",
+            "repaid",
+            "outstanding_debt",
+            "peak_debt",
+        }

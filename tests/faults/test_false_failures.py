@@ -1,0 +1,74 @@
+"""Analytic checks of the paper's false-failure arithmetic (section 6.2).
+
+With uniformly failed 64 B PCM lines at rate f, the probability that a
+256 B Immix line is poisoned is 1 - (1 - f)^4. At f = 10 % that is
+~34.4 % — which is why compensation (x1.11 raw memory) cannot rescue a
+256 B-line heap, and why figure 6(b) punishes large Immix lines.
+"""
+
+import pytest
+
+from repro.faults.generator import uniform_map
+from repro.hardware.geometry import Geometry
+
+G256 = Geometry(immix_line=256)
+G128 = Geometry(immix_line=128)
+G64 = Geometry(immix_line=64)
+
+N_LINES = 400_000  # 25 MB of PCM: enough for tight tolerances
+
+
+@pytest.mark.parametrize("rate", [0.10, 0.25, 0.50])
+def test_immix_line_poisoning_matches_analytical(rate):
+    fmap = uniform_map(N_LINES, rate, seed=11)
+    for geometry, pcm_per_immix in ((G256, 4), (G128, 2), (G64, 1)):
+        poisoned = len(fmap.immix_line_view(geometry))
+        total = N_LINES // pcm_per_immix
+        expected = 1.0 - (1.0 - rate) ** pcm_per_immix
+        assert poisoned / total == pytest.approx(expected, abs=0.01), (
+            f"line={geometry.immix_line} rate={rate}"
+        )
+
+
+def test_paper_example_10_percent_256B():
+    # The specific numbers behind section 6.2's discussion.
+    expected = 1.0 - 0.9**4
+    assert expected == pytest.approx(0.3439, abs=1e-4)
+    fmap = uniform_map(N_LINES, 0.10, seed=3)
+    measured = len(fmap.immix_line_view(G256)) / (N_LINES // 4)
+    assert measured == pytest.approx(expected, abs=0.01)
+
+
+def test_compensation_cannot_cover_false_failures():
+    # Compensation restores raw failed bytes (f), but the usable
+    # fraction of a 256 B-line heap is (1-f)^4 / (1-f) of the intended
+    # heap — strictly less than 1 for any f in (0, 1).
+    for rate in (0.05, 0.10, 0.25):
+        usable_fraction = (1.0 - rate) ** 4 / (1.0 - rate)
+        assert usable_fraction < 1.0
+    # At 10%: only ~73% of the intended heap remains usable, the source
+    # of figure 5's residual gap after compensation.
+    assert (0.9**4) / 0.9 == pytest.approx(0.729, abs=1e-3)
+
+
+def test_page_perfection_probability():
+    # P(4 KB page perfect) = (1-f)^64: ~0.12% at 10% failures — perfect
+    # PCM pages essentially vanish, driving figure 9(b)'s demand curves.
+    fmap = uniform_map(N_LINES, 0.10, seed=5)
+    perfect = fmap.perfect_page_count(G256)
+    total_pages = N_LINES // G256.lines_per_page
+    expected = 0.9**64
+    assert perfect / total_pages == pytest.approx(expected, abs=0.004)
+
+
+def test_clustering_restores_perfect_pages():
+    from repro.faults.generator import apply_hardware_clustering
+
+    g2 = Geometry(region_pages=2)
+    fmap = uniform_map(N_LINES, 0.10, seed=5)
+    clustered = apply_hardware_clustering(fmap, g2)
+    # With 2-page clustering at 10%, nearly every region packs its
+    # ~13 failures into one page, leaving the other perfect: the
+    # perfect-page fraction jumps from ~0.1% to ~50%.
+    fraction = clustered.perfect_page_count(g2) / (N_LINES // g2.lines_per_page)
+    assert fraction > 0.45

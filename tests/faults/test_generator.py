@@ -1,0 +1,148 @@
+"""Tests for failure-map generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.faults.generator import (
+    PAPER_FAILURE_RATES,
+    FailureModel,
+    apply_hardware_clustering,
+    clustered_map,
+    uniform_map,
+)
+from repro.faults.maps import FailureMap
+from repro.hardware.geometry import Geometry
+
+G1 = Geometry(region_pages=1)
+G2 = Geometry(region_pages=2)
+
+
+class TestUniform:
+    def test_rate_zero_fails_nothing(self):
+        assert uniform_map(10_000, 0.0).failed_count == 0
+
+    def test_rate_one_fails_everything(self):
+        assert uniform_map(100, 1.0).failed_count == 100
+
+    def test_rate_respected_within_tolerance(self):
+        fmap = uniform_map(200_000, 0.25, seed=1)
+        assert fmap.failure_rate == pytest.approx(0.25, abs=0.01)
+
+    def test_deterministic_per_seed(self):
+        assert uniform_map(1000, 0.3, seed=5) == uniform_map(1000, 0.3, seed=5)
+        assert uniform_map(1000, 0.3, seed=5) != uniform_map(1000, 0.3, seed=6)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_map(10, 1.5)
+        with pytest.raises(ConfigError):
+            uniform_map(10, -0.1)
+
+
+class TestClusteredLimitStudy:
+    def test_failures_come_in_aligned_runs(self):
+        # 512 B clusters = 8 lines.
+        fmap = clustered_map(10_000, 0.25, 512, G1, seed=3)
+        failed = fmap.failed_lines
+        clusters = {line // 8 for line in failed}
+        for cluster in clusters:
+            assert all(cluster * 8 + i in failed for i in range(8))
+
+    def test_per_line_probability_preserved(self):
+        # Section 6.4: "the probability of any given line having failed
+        # remains p" even though gaps are at least 2^N wide.
+        fmap = clustered_map(400_000, 0.25, 1024, G1, seed=7)
+        assert fmap.failure_rate == pytest.approx(0.25, abs=0.02)
+
+    def test_line_sized_cluster_equals_uniform(self):
+        assert clustered_map(5000, 0.3, 64, G1, seed=9) == uniform_map(5000, 0.3, seed=9)
+
+    def test_non_power_of_two_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            clustered_map(100, 0.1, 192, G1)
+
+    def test_trailing_partial_cluster_clamped(self):
+        fmap = clustered_map(10, 1.0, 512, G1)
+        assert fmap.failed_count == 10
+
+
+class TestHardwareClustering:
+    def test_failures_move_to_region_edges(self):
+        n = 4 * G1.lines_per_region
+        fmap = FailureMap(n, [10, 50, G1.lines_per_region + 30])
+        clustered = apply_hardware_clustering(fmap, G1)
+        assert clustered.failed_lines == frozenset(
+            {0, 1, 2 * G1.lines_per_region - 1}
+        )
+
+    def test_two_page_regions_leave_perfect_pages(self):
+        n = 2 * G2.lines_per_region
+        # Scatter failures across all four pages, < 1 page per region.
+        fmap = FailureMap(n, list(range(0, n, 5)))
+        clustered = apply_hardware_clustering(fmap, G2)
+        perfect = clustered.perfect_page_count(G2)
+        assert perfect >= 2  # each region concentrates into one page
+
+    def test_counts_preserved(self):
+        fmap = uniform_map(10_000, 0.2, seed=11)
+        # Round up to whole regions to avoid clamping effects.
+        clustered = apply_hardware_clustering(fmap, G2)
+        assert clustered.failed_count == fmap.failed_count
+
+
+class TestFailureModel:
+    def test_zero_rate_builds_empty_map(self):
+        model = FailureModel(rate=0.0)
+        assert model.build(1000, G2).failed_count == 0
+
+    def test_describe_mentions_configuration(self):
+        model = FailureModel(rate=0.5, hw_region_pages=2)
+        text = model.describe()
+        assert "50%" in text and "2-page" in text
+        assert FailureModel().describe() == "no failures"
+
+    def test_hw_clustering_overrides_geometry_region(self):
+        model = FailureModel(rate=0.25, hw_region_pages=1)
+        fmap = model.build(4 * G2.lines_per_region, G2, seed=2)
+        # With 1-page clustering, each page's failures pack at one edge:
+        # every failed run must fit within a single page.
+        per_page = G2.lines_per_page
+        for page in range(8):
+            offsets = sorted(
+                line - page * per_page
+                for line in fmap.failed_lines
+                if page * per_page <= line < (page + 1) * per_page
+            )
+            if not offsets:
+                continue
+            # Contiguous run anchored at one end of the page.
+            assert offsets == list(range(offsets[0], offsets[0] + len(offsets)))
+            assert offsets[0] == 0 or offsets[-1] == per_page - 1
+
+    def test_cluster_bytes_mode(self):
+        model = FailureModel(rate=0.25, cluster_bytes=512)
+        fmap = model.build(10_000, G1, seed=3)
+        assert fmap == clustered_map(10_000, 0.25, 512, G1, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FailureModel(rate=2.0)
+        with pytest.raises(ConfigError):
+            FailureModel(hw_region_pages=-1)
+
+    def test_paper_rates_constant(self):
+        assert PAPER_FAILURE_RATES == (0.0, 0.10, 0.25, 0.50)
+
+    @settings(max_examples=25)
+    @given(
+        st.sampled_from([0.0, 0.1, 0.25, 0.5]),
+        st.sampled_from([0, 1, 2]),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_build_is_deterministic(self, rate, hw_pages, seed):
+        model = FailureModel(rate=rate, hw_region_pages=hw_pages)
+        a = model.build(2048, G2, seed)
+        b = model.build(2048, G2, seed)
+        assert a == b

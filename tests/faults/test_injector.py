@@ -1,0 +1,79 @@
+"""Tests for the fault-injection shim."""
+
+import pytest
+
+from repro.faults.generator import FailureModel
+from repro.faults.injector import FaultInjector
+from repro.hardware.geometry import Geometry
+
+G = Geometry()
+
+
+class TestCompensation:
+    def test_paper_formula(self):
+        # h / (1 - f), rounded up to pages (section 6.2).
+        raw = FaultInjector.compensated_bytes(100 * G.page, 0.5, G.page)
+        assert raw == 200 * G.page
+
+    def test_zero_rate_identity(self):
+        assert FaultInjector.compensated_bytes(10 * G.page, 0.0, G.page) == 10 * G.page
+
+    def test_rounds_up_to_page(self):
+        raw = FaultInjector.compensated_bytes(10 * G.page, 0.1, G.page)
+        assert raw % G.page == 0
+        assert raw >= 10 * G.page / 0.9
+
+    def test_full_failure_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector.compensated_bytes(G.page, 1.0, G.page)
+
+
+class TestInjection:
+    def test_injected_rate_visible_through_os(self):
+        model = FailureModel(rate=0.25)
+        injector = FaultInjector(model, pcm_bytes=64 * G.region, seed=3)
+        table = injector.os.failure_table
+        rate = table.failed_line_count() / injector.pcm.n_lines
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+    def test_zero_rate_injects_nothing(self):
+        injector = FaultInjector(FailureModel(), pcm_bytes=4 * G.region)
+        assert injector.static_map.failed_count == 0
+        assert injector.os.pools.free_imperfect == 0
+
+    def test_hw_clustering_enables_module_clustering(self):
+        injector = FaultInjector(
+            FailureModel(rate=0.1, hw_region_pages=2), pcm_bytes=8 * G.region
+        )
+        assert injector.pcm.clustering is not None
+        # Every failure is packed at a region edge.
+        for region in range(8):
+            lines = [
+                line - region * G.lines_per_region
+                for line in injector.pcm.failed_logical_lines()
+                if region * G.lines_per_region <= line < (region + 1) * G.lines_per_region
+            ]
+            if lines:
+                run = sorted(lines)
+                assert run == list(range(run[0], run[0] + len(run)))
+
+    def test_failure_map_for_pages_rebases(self):
+        model = FailureModel(rate=0.5)
+        injector = FaultInjector(model, pcm_bytes=4 * G.region, seed=1)
+        sub = injector.failure_map_for_pages(2, 2)
+        assert sub.n_lines == 2 * G.lines_per_page
+        expected = injector.static_map.subset(2 * G.lines_per_page, 2 * G.lines_per_page)
+        assert sub == expected
+
+    def test_describe_mentions_seed(self):
+        injector = FaultInjector(FailureModel(rate=0.1), pcm_bytes=4 * G.region, seed=9)
+        assert "seed 9" in injector.describe()
+
+    def test_seeds_differ(self):
+        maps = {
+            FaultInjector(
+                FailureModel(rate=0.3), pcm_bytes=4 * G.region, seed=s
+            ).static_map
+            for s in range(3)
+        }
+        assert len(maps) == 3

@@ -1,0 +1,70 @@
+"""Tests for FailureModel's secondary options (granularity, metadata)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.generator import FailureModel
+from repro.hardware.geometry import Geometry
+
+G = Geometry()
+
+
+class TestMapGranularity:
+    def test_coarse_map_fails_whole_groups(self):
+        model = FailureModel(rate=0.05, map_granularity_lines=4)
+        fmap = model.build(4096, G, seed=1)
+        assert fmap.failed_count % 4 == 0
+        for line in fmap.failed_lines:
+            group_start = line // 4 * 4
+            assert all(fmap.is_failed(group_start + i) for i in range(4))
+
+    def test_granularity_one_is_identity(self):
+        fine = FailureModel(rate=0.10).build(4096, G, seed=2)
+        same = FailureModel(rate=0.10, map_granularity_lines=1).build(4096, G, seed=2)
+        assert fine == same
+
+    def test_coarser_maps_lose_more_memory(self):
+        rates = []
+        for granularity in (1, 4, 16, 64):
+            model = FailureModel(rate=0.10, map_granularity_lines=granularity)
+            rates.append(model.build(64_000, G, seed=3).failure_rate)
+        assert rates == sorted(rates)
+        # Page-granularity (64 lines) at 10% approaches total loss:
+        # P(page hit) = 1 - 0.9^64 ~ 99.9%.
+        assert rates[-1] > 0.99
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ConfigError):
+            FailureModel(map_granularity_lines=0)
+
+    def test_composes_with_clustering(self):
+        model = FailureModel(rate=0.10, hw_region_pages=2, map_granularity_lines=4)
+        fmap = model.build(4 * G.lines_per_region, G, seed=4)
+        # Clustering packs failures at region edges; the coarse map can
+        # only extend those runs, never scatter them.
+        per_region = G.lines_per_region
+        for region in range(4):
+            offsets = sorted(
+                line - region * per_region
+                for line in fmap.failed_lines
+                if region * per_region <= line < (region + 1) * per_region
+            )
+            if offsets:
+                assert offsets == list(range(offsets[0], offsets[0] + len(offsets)))
+
+
+class TestMetadataCharging:
+    def test_metadata_lines_charged(self):
+        with_meta = FailureModel(rate=0.10, hw_region_pages=2, include_metadata=True)
+        without = FailureModel(rate=0.10, hw_region_pages=2)
+        n = 8 * G.lines_per_region
+        charged = with_meta.build(n, G, seed=5).failed_count
+        plain = without.build(n, G, seed=5).failed_count
+        # Two redirection-map lines per touched region (paper: 889 bits).
+        assert charged > plain
+        assert charged - plain <= 2 * 8
+
+    def test_describe_is_stable(self):
+        model = FailureModel(rate=0.25, cluster_bytes=512, hw_region_pages=1)
+        text = model.describe()
+        assert "25%" in text and "512B" in text and "1-page" in text

@@ -1,0 +1,53 @@
+"""Tests for the perfect DRAM module."""
+
+import pytest
+
+from repro.errors import AddressError, OutOfMemoryError
+from repro.hardware.dram import DramModule
+from repro.hardware.geometry import Geometry
+
+G = Geometry()
+
+
+class TestDramModule:
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(AddressError):
+            DramModule(G.page + 1)
+        with pytest.raises(AddressError):
+            DramModule(0)
+
+    def test_allocation_and_free(self):
+        dram = DramModule(4 * G.page)
+        assert dram.n_pages == 4
+        page = dram.allocate_page()
+        assert dram.allocated_pages == 1
+        assert dram.free_pages == 3
+        dram.free_page(page)
+        assert dram.free_pages == 4
+
+    def test_exhaustion(self):
+        dram = DramModule(2 * G.page)
+        dram.allocate_page()
+        dram.allocate_page()
+        with pytest.raises(OutOfMemoryError):
+            dram.allocate_page()
+
+    def test_double_free_rejected(self):
+        dram = DramModule(G.page)
+        page = dram.allocate_page()
+        dram.free_page(page)
+        with pytest.raises(AddressError):
+            dram.free_page(page)
+
+    def test_peak_tracking(self):
+        dram = DramModule(4 * G.page)
+        pages = [dram.allocate_page() for _ in range(3)]
+        for page in pages:
+            dram.free_page(page)
+        dram.allocate_page()
+        assert dram.peak_allocated == 3
+
+    def test_pages_are_distinct(self):
+        dram = DramModule(4 * G.page)
+        pages = {dram.allocate_page() for _ in range(4)}
+        assert len(pages) == 4

@@ -1,0 +1,83 @@
+"""Tests for the ECP-style per-line error correction model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.ecc import DEFAULT_ENTRIES_PER_LINE, EccDomain, LineEcc
+
+
+class TestLineEcc:
+    def test_new_line_has_full_budget(self):
+        line = LineEcc()
+        assert line.capacity == DEFAULT_ENTRIES_PER_LINE
+        assert line.remaining == DEFAULT_ENTRIES_PER_LINE
+        assert not line.exhausted
+
+    def test_budget_absorbs_exactly_capacity_distinct_bits(self):
+        line = LineEcc(capacity=3)
+        assert line.record_stuck_bit(0)
+        assert line.record_stuck_bit(1)
+        assert line.record_stuck_bit(2)
+        assert not line.exhausted
+        assert not line.record_stuck_bit(3)
+        assert line.exhausted
+
+    def test_repeated_bit_consumes_nothing(self):
+        line = LineEcc(capacity=1)
+        assert line.record_stuck_bit(5)
+        assert line.record_stuck_bit(5)
+        assert line.record_stuck_bit(5)
+        assert line.remaining == 0
+        assert not line.exhausted
+
+    def test_exhausted_line_stays_failed(self):
+        line = LineEcc(capacity=0)
+        assert not line.record_stuck_bit(0)
+        assert not line.record_stuck_bit(99)
+        assert line.exhausted
+
+    def test_reclaimable_only_after_exhaustion(self):
+        line = LineEcc(capacity=2)
+        line.record_stuck_bit(0)
+        assert line.reclaimable_entries() == 0
+        line.record_stuck_bit(1)
+        line.record_stuck_bit(2)
+        assert line.exhausted
+        assert line.reclaimable_entries() == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=511), max_size=40))
+    def test_exhaustion_iff_distinct_bits_exceed_capacity(self, bits):
+        line = LineEcc(capacity=4)
+        for bit in bits:
+            line.record_stuck_bit(bit)
+        assert line.exhausted == (len(set(bits)) > 4)
+
+
+class TestEccDomain:
+    def test_lazy_materialization(self):
+        domain = EccDomain()
+        assert domain.touched_line_count() == 0
+        domain.record_stuck_bit(100, 0)
+        assert domain.touched_line_count() == 1
+        assert not domain.is_exhausted(100)
+        assert not domain.is_exhausted(999)
+
+    def test_exhausted_lines_sorted(self):
+        domain = EccDomain(entries_per_line=0)
+        for line in (30, 10, 20):
+            domain.record_stuck_bit(line, 0)
+        assert domain.exhausted_lines() == [10, 20, 30]
+
+    def test_total_reclaimable(self):
+        domain = EccDomain(entries_per_line=2)
+        for bit in range(3):
+            domain.record_stuck_bit(7, bit)
+        assert domain.total_reclaimable_entries() == 2
+
+    def test_independent_lines(self):
+        domain = EccDomain(entries_per_line=1)
+        domain.record_stuck_bit(1, 0)
+        domain.record_stuck_bit(1, 1)
+        domain.record_stuck_bit(2, 0)
+        assert domain.is_exhausted(1)
+        assert not domain.is_exhausted(2)

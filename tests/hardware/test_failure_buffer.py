@@ -1,0 +1,103 @@
+"""Tests for the hardware failure buffer."""
+
+import pytest
+
+from repro.errors import FailureBufferOverflowError
+from repro.hardware.failure_buffer import FailureBuffer, InterruptKind
+
+
+def make_buffer(capacity=8, reserve=2):
+    interrupts = []
+    buffer = FailureBuffer(capacity=capacity, reserve=reserve, interrupt=interrupts.append)
+    return buffer, interrupts
+
+
+class TestInsertAndForward:
+    def test_insert_raises_write_failure_interrupt(self):
+        buffer, interrupts = make_buffer()
+        buffer.insert(0x1000, "data")
+        assert interrupts == [InterruptKind.WRITE_FAILURE]
+
+    def test_forward_returns_latest_data(self):
+        buffer, _ = make_buffer()
+        buffer.insert(0x40, "old")
+        buffer.insert(0x40, "new")
+        assert buffer.forward(0x40) == "new"
+        assert len(buffer) == 1
+
+    def test_forward_misses_return_none(self):
+        buffer, _ = make_buffer()
+        assert buffer.forward(0x80) is None
+
+    def test_fifo_order_of_first_failure(self):
+        buffer, _ = make_buffer()
+        buffer.insert(1, "a")
+        buffer.insert(2, "b")
+        buffer.insert(1, "a2")  # re-failure moves to the back
+        assert [e.address for e in buffer.pending()] == [2, 1]
+
+    def test_synthetic_entry_flag(self):
+        buffer, _ = make_buffer()
+        buffer.insert(0, None, synthetic=True)
+        assert buffer.pending()[0].synthetic
+
+
+class TestStallProtocol:
+    def test_nearly_full_interrupt_and_stall(self):
+        buffer, interrupts = make_buffer(capacity=4, reserve=2)
+        buffer.insert(1, None)
+        assert buffer.accepting_writes
+        buffer.insert(2, None)
+        assert not buffer.accepting_writes
+        assert InterruptKind.BUFFER_NEARLY_FULL in interrupts
+
+    def test_clear_unstalls(self):
+        buffer, _ = make_buffer(capacity=4, reserve=2)
+        buffer.insert(1, None)
+        buffer.insert(2, None)
+        assert not buffer.accepting_writes
+        assert buffer.clear(1)
+        assert buffer.accepting_writes
+
+    def test_overflow_raises_when_stalled_and_full(self):
+        buffer, _ = make_buffer(capacity=2, reserve=1)
+        buffer.insert(1, None)
+        buffer.insert(2, None)
+        with pytest.raises(FailureBufferOverflowError):
+            buffer.insert(3, None)
+
+    def test_clear_unknown_address_returns_false(self):
+        buffer, _ = make_buffer()
+        assert not buffer.clear(0xDEAD)
+
+
+class TestDrain:
+    def test_drain_empties_and_unstalls(self):
+        buffer, _ = make_buffer(capacity=4, reserve=2)
+        buffer.insert(1, "a")
+        buffer.insert(2, "b")
+        entries = buffer.drain()
+        assert [e.address for e in entries] == [1, 2]
+        assert len(buffer) == 0
+        assert buffer.accepting_writes
+
+    def test_statistics(self):
+        buffer, _ = make_buffer()
+        for address in range(5):
+            buffer.insert(address, None)
+        buffer.drain()
+        buffer.insert(9, None)
+        assert buffer.total_inserted == 6
+        assert buffer.high_water_mark == 5
+
+    def test_contains(self):
+        buffer, _ = make_buffer()
+        buffer.insert(64, None)
+        assert 64 in buffer
+        assert 65 not in buffer
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            FailureBuffer(capacity=4, reserve=4)

@@ -1,0 +1,109 @@
+"""Tests for the shared address geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.hardware.geometry import PAPER_DEFAULT, Geometry
+
+
+class TestConstruction:
+    def test_paper_default_matches_paper(self):
+        g = PAPER_DEFAULT
+        assert g.pcm_line == 64
+        assert g.page == 4096
+        assert g.region_pages == 2
+        assert g.immix_line == 256
+        assert g.block == 32 * 1024
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(GeometryError):
+            Geometry(pcm_line=96)
+
+    def test_rejects_page_not_multiple_of_line(self):
+        with pytest.raises(GeometryError):
+            Geometry(pcm_line=64, page=64 * 3)
+
+    def test_rejects_immix_line_smaller_than_pcm_line(self):
+        with pytest.raises(GeometryError):
+            Geometry(pcm_line=128, immix_line=64)
+
+    def test_rejects_zero_region_pages(self):
+        with pytest.raises(GeometryError):
+            Geometry(region_pages=0)
+
+    def test_rejects_block_not_multiple_of_page(self):
+        with pytest.raises(GeometryError):
+            Geometry(block=6 * 1024)
+
+
+class TestDerivedCounts:
+    def test_lines_per_page_is_64(self):
+        assert PAPER_DEFAULT.lines_per_page == 64
+
+    def test_lines_per_region_matches_paper_default(self):
+        # Two 4 KB pages of 64 B lines = 128 lines (paper section 3.1.2).
+        assert PAPER_DEFAULT.lines_per_region == 128
+
+    def test_immix_lines_per_block(self):
+        assert PAPER_DEFAULT.immix_lines_per_block == 128
+
+    def test_pcm_lines_per_immix_line(self):
+        assert PAPER_DEFAULT.pcm_lines_per_immix_line == 4
+        assert Geometry(immix_line=64).pcm_lines_per_immix_line == 1
+
+    def test_pages_per_block(self):
+        assert PAPER_DEFAULT.pages_per_block == 8
+
+
+class TestAddressArithmetic:
+    def test_line_round_trip(self):
+        g = PAPER_DEFAULT
+        assert g.line_index(g.line_address(17)) == 17
+        assert g.line_index(g.line_address(17) + 63) == 17
+        assert g.line_index(g.line_address(17) + 64) == 18
+
+    def test_region_lines_cover_region(self):
+        g = PAPER_DEFAULT
+        lines = g.region_lines(3)
+        assert len(lines) == g.lines_per_region
+        assert g.region_index(g.line_address(lines[0])) == 3
+        assert g.region_index(g.line_address(lines[-1])) == 3
+
+    def test_page_lines_cover_page(self):
+        g = PAPER_DEFAULT
+        lines = g.page_lines(5)
+        assert len(lines) == 64
+        assert g.page_index(g.line_address(lines[0])) == 5
+
+    def test_line_offset_in_region(self):
+        g = PAPER_DEFAULT
+        assert g.line_offset_in_region(0) == 0
+        assert g.line_offset_in_region(g.region + 64) == 1
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_line_index_consistent_with_offsets(self, address):
+        g = PAPER_DEFAULT
+        line = g.line_index(address)
+        region = g.region_index(address)
+        offset = g.line_offset_in_region(address)
+        assert line == region * g.lines_per_region + offset
+
+
+class TestRedirectionMapMetadata:
+    def test_paper_example_889_bits(self):
+        # Paper: 2-page region, 128 lines -> 126 redirection entries +
+        # 1 boundary pointer, 7 bits each = 889 bits, i.e. two lines.
+        g = PAPER_DEFAULT
+        assert g.redirection_map_lines() == 2
+        assert g.redirection_map_bits() == 889
+
+    def test_one_page_region_fits_one_line(self):
+        g = Geometry(region_pages=1)
+        # 64 lines, 6-bit entries: (63 + 1) * 6 = 384 bits <= 512.
+        assert g.redirection_map_lines() == 1
+
+    def test_describe_mentions_sizes(self):
+        text = PAPER_DEFAULT.describe()
+        assert "64B" in text and "4KB" in text and "32KB" in text

@@ -1,0 +1,96 @@
+"""Tests for wear-leveling schemes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.wear_leveling import (
+    NoWearLeveling,
+    StartGapWearLeveler,
+    spread_statistics,
+)
+
+
+class TestNoWearLeveling:
+    def test_identity(self):
+        leveler = NoWearLeveling()
+        for line in (0, 7, 1000):
+            assert leveler.translate(line) == line
+        leveler.on_write(5)  # no effect, no error
+
+
+class TestStartGap:
+    def test_initial_mapping_is_identity(self):
+        leveler = StartGapWearLeveler(domain_lines=8, gap_write_interval=4)
+        assert [leveler.translate(i) for i in range(8)] == list(range(8))
+
+    def test_gap_moves_after_interval(self):
+        leveler = StartGapWearLeveler(domain_lines=8, gap_write_interval=4)
+        for _ in range(4):
+            leveler.on_write(0)
+        assert leveler.gap_moves == 1
+
+    def test_mapping_changes_as_gap_rotates(self):
+        leveler = StartGapWearLeveler(domain_lines=8, gap_write_interval=1)
+        before = [leveler.translate(i) for i in range(8)]
+        for _ in range(8 + 1):
+            leveler.on_write(0)
+        after = [leveler.translate(i) for i in range(8)]
+        assert before != after
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_mapping_is_always_within_domain(self, writes):
+        n = 8
+        leveler = StartGapWearLeveler(domain_lines=n, gap_write_interval=3)
+        for _ in range(writes):
+            leveler.on_write(0)
+        translated = [leveler.translate(i) for i in range(n)]
+        assert all(0 <= t < n for t in translated)
+
+    def test_domains_are_independent(self):
+        leveler = StartGapWearLeveler(domain_lines=4, gap_write_interval=1)
+        for _ in range(10):
+            leveler.on_write(0)  # domain 0
+        # Domain 1 (lines 4..7) untouched: identity mapping.
+        assert [leveler.translate(i) for i in range(4, 8)] == [4, 5, 6, 7]
+
+    def test_rotation_counter(self):
+        leveler = StartGapWearLeveler(domain_lines=4, gap_write_interval=1)
+        # Gap must traverse all 5 slots before start advances.
+        for _ in range(5):
+            leveler.on_write(0)
+        assert leveler.rotation_of(0) == 1
+
+    def test_spreads_hot_line_wear(self):
+        # Hammering one logical line must touch several physical lines.
+        leveler = StartGapWearLeveler(domain_lines=16, gap_write_interval=2)
+        touched = set()
+        for _ in range(200):
+            leveler.on_write(3)
+            touched.add(leveler.translate(3))
+        assert len(touched) > 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StartGapWearLeveler(domain_lines=1)
+        with pytest.raises(ValueError):
+            StartGapWearLeveler(gap_write_interval=0)
+
+
+class TestSpreadStatistics:
+    def test_empty(self):
+        stats = spread_statistics([])
+        assert stats == {"max_over_mean": 0.0, "cv": 0.0}
+
+    def test_uniform_counts(self):
+        stats = spread_statistics([10, 10, 10, 10])
+        assert stats["max_over_mean"] == pytest.approx(1.0)
+        assert stats["cv"] == pytest.approx(0.0)
+
+    def test_skewed_counts(self):
+        stats = spread_statistics([100, 0, 0, 0])
+        assert stats["max_over_mean"] == pytest.approx(4.0)
+        assert stats["cv"] > 1.0
+
+    def test_all_zero(self):
+        assert spread_statistics([0, 0]) == {"max_over_mean": 0.0, "cv": 0.0}

@@ -1,0 +1,138 @@
+"""Tests for Immix blocks and false-failure seeding."""
+
+import pytest
+
+from repro.hardware.geometry import Geometry
+from repro.heap.block import Block, block_is_perfect, perfect_block
+from repro.heap.line_table import FAILED, FREE, LIVE, LIVE_PINNED
+from repro.heap.object_model import SimObject
+from repro.heap.page_supply import HeapPage
+
+G = Geometry()  # 256 B Immix lines, 4 KB pages, 32 KB blocks
+
+
+def make_pages(failures=None):
+    failures = failures or {}
+    return [
+        HeapPage(index, frozenset(failures.get(index, ())))
+        for index in range(G.pages_per_block)
+    ]
+
+
+class TestConstruction:
+    def test_wrong_page_count_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0, [HeapPage(0)], G)
+
+    def test_perfect_block_is_hole_free(self):
+        block = Block(0, make_pages(), G)
+        assert block_is_perfect(block)
+        assert block.free_line_count() == G.immix_lines_per_block
+        assert block.free_runs() == [(0, G.immix_lines_per_block)]
+
+    def test_perfect_block_helper_rejects_holes(self):
+        with pytest.raises(ValueError):
+            perfect_block(0, make_pages({0: {3}}), G)
+
+    def test_failed_pcm_line_poisons_immix_line(self):
+        # PCM line offset 5 of page 0: bytes 320..383, Immix line 1.
+        block = Block(0, make_pages({0: {5}}), G)
+        assert block.line_states[1] == FAILED
+        assert block.failed_line_count() == 1
+        # One 64 B failure removes a whole 256 B line: false failure.
+        assert block.free_line_count() == G.immix_lines_per_block - 1
+
+    def test_failures_in_later_pages_map_correctly(self):
+        # Page 2, PCM offset 0: byte 8192, Immix line 32.
+        block = Block(0, make_pages({2: {0}}), G)
+        assert block.line_states[32] == FAILED
+
+    def test_multiple_pcm_failures_one_immix_line(self):
+        # Offsets 0..3 of page 0 share Immix line 0 at 256 B lines.
+        block = Block(0, make_pages({0: {0, 1, 2, 3}}), G)
+        assert block.failed_line_count() == 1
+
+    def test_virtual_base(self):
+        block = Block(3, make_pages(), G)
+        assert block.virtual_base == 3 * G.block
+
+
+class TestPlacementAndSweep:
+    def test_place_binds_object(self):
+        block = Block(0, make_pages(), G)
+        obj = SimObject(0, 64)
+        block.place(obj, 512)
+        assert obj.block is block
+        assert obj.address == 512
+        assert block.allocated_since_gc
+        assert block.objects == [obj]
+
+    def test_rebuild_marks_live_lines(self):
+        block = Block(0, make_pages({0: {5}}), G)
+        live = SimObject(0, 300)
+        dead = SimObject(1, 300)
+        block.place(live, 512)       # lines 2-3
+        block.place(dead, 1024)      # lines 4-5
+        live.mark = 7
+        live_lines, scanned = block.rebuild_line_marks(epoch=7)
+        assert scanned == G.immix_lines_per_block
+        assert live_lines == 2
+        assert block.line_states[2] == LIVE and block.line_states[3] == LIVE
+        assert block.line_states[4] == FREE and block.line_states[5] == FREE
+        assert block.line_states[1] == FAILED  # failures persist
+        assert block.objects == [live]
+
+    def test_rebuild_keeps_old_when_requested(self):
+        block = Block(0, make_pages(), G)
+        old = SimObject(0, 64)
+        old.old = True
+        young_dead = SimObject(1, 64)
+        block.place(old, 0)
+        block.place(young_dead, 256)
+        block.rebuild_line_marks(epoch=9, keep_old=True)
+        assert block.objects == [old]
+
+    def test_pinned_lines_marked_pinned(self):
+        block = Block(0, make_pages(), G)
+        obj = SimObject(0, 64, pinned=True)
+        block.place(obj, 0)
+        obj.mark = 1
+        block.rebuild_line_marks(epoch=1)
+        assert block.line_states[0] == LIVE_PINNED
+
+    def test_objects_overlapping_line(self):
+        block = Block(0, make_pages(), G)
+        a = SimObject(0, 300)
+        block.place(a, 0)  # lines 0-1
+        assert block.objects_overlapping_line(1) == [a]
+        assert block.objects_overlapping_line(2) == []
+
+
+class TestDynamicFailure:
+    def test_dynamic_failure_flags_evacuation(self):
+        block = Block(0, make_pages(), G)
+        line = block.record_dynamic_failure(page_slot=1, pcm_offset=4)
+        # Page 1 starts at Immix line 16; offset 4 -> line 17.
+        assert line == 17
+        assert block.evacuate
+        assert block.line_states[17] == FAILED
+
+    def test_page_slot_of_line(self):
+        block = Block(0, make_pages(), G)
+        assert block.page_slot_of_line(0) == 0
+        assert block.page_slot_of_line(16) == 1
+        assert block.page_slot_of_line(127) == 7
+
+
+class TestMetrics:
+    def test_usable_bytes(self):
+        block = Block(0, make_pages({0: {0}}), G)
+        assert block.usable_bytes() == (G.immix_lines_per_block - 1) * G.immix_line
+
+    def test_wholly_free_requires_no_failures(self):
+        assert Block(0, make_pages(), G).is_wholly_free()
+        assert not Block(0, make_pages({0: {0}}), G).is_wholly_free()
+
+    def test_largest_hole_bytes(self):
+        block = Block(0, make_pages(), G)
+        assert block.largest_hole_bytes() == G.block

@@ -1,0 +1,65 @@
+"""Tests for line states and free-run computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heap import line_table
+from repro.heap.line_table import FAILED, FREE, LIVE, LIVE_PINNED
+
+
+def states(*chars):
+    mapping = {".": FREE, "L": LIVE, "P": LIVE_PINNED, "X": FAILED}
+    return bytearray(mapping[c] for c in "".join(chars))
+
+
+class TestFreeRuns:
+    def test_empty(self):
+        assert line_table.free_runs(bytearray()) == []
+
+    def test_all_free(self):
+        assert line_table.free_runs(states("....")) == [(0, 4)]
+
+    def test_holes_split_runs(self):
+        assert line_table.free_runs(states("..X..L.")) == [(0, 2), (3, 2), (6, 1)]
+
+    def test_no_free(self):
+        assert line_table.free_runs(states("XXLL")) == []
+
+    def test_trailing_run(self):
+        assert line_table.free_runs(states("L...")) == [(1, 3)]
+
+    @given(st.binary(min_size=0, max_size=64).map(bytearray))
+    def test_runs_partition_free_lines(self, raw):
+        table = bytearray(b % 4 for b in raw)
+        runs = line_table.free_runs(table)
+        covered = set()
+        for start, length in runs:
+            assert length > 0
+            for line in range(start, start + length):
+                assert table[line] == FREE
+                covered.add(line)
+        free = {i for i, s in enumerate(table) if s == FREE}
+        assert covered == free
+
+
+class TestAggregates:
+    def test_largest_free_run(self):
+        assert line_table.largest_free_run(states("..X....L..")) == 4
+        assert line_table.largest_free_run(states("XX")) == 0
+
+    def test_count_state(self):
+        table = states("..XLP")
+        assert line_table.count_state(table, FREE) == 2
+        assert line_table.count_state(table, FAILED) == 1
+        assert line_table.count_state(table, LIVE_PINNED) == 1
+
+    def test_fragmentation_index(self):
+        assert line_table.fragmentation_index(states("....")) == 0.0
+        assert line_table.fragmentation_index(states("..X..")) == pytest.approx(0.5)
+        assert line_table.fragmentation_index(states("XX")) == 0.0
+
+    def test_state_names(self):
+        assert line_table.state_name(FREE) == "free"
+        assert line_table.state_name(FAILED) == "failed"
+        assert "?" in line_table.state_name(42)

@@ -1,0 +1,46 @@
+"""Tests for the failure table's RLE compression estimate."""
+
+import pytest
+
+from repro.hardware.geometry import Geometry
+from repro.osim.failure_table import FailureTable
+
+G = Geometry()
+
+
+class TestCompression:
+    def test_new_system_compresses_to_nothing(self):
+        table = FailureTable(10_000, G)
+        assert table.compressed_size_bytes() == 0
+        assert table.compression_ratio() == float("inf")
+
+    def test_sparse_failures_compress_well(self):
+        table = FailureTable(10_000, G)
+        for page in range(0, 10_000, 100):  # 1% of pages, 1 line each
+            table.record_failure(page, 7)
+        ratio = table.compression_ratio()
+        assert ratio > 20  # paper: "high compression rates ... when new"
+
+    def test_clustered_failures_stay_compact(self):
+        table = FailureTable(1_000, G)
+        for page in range(1_000):
+            for offset in range(16):  # one run per page
+                table.record_failure(page, offset)
+        per_page = table.compressed_size_bytes() / 1_000
+        assert per_page < 8  # far below the 8-byte raw bitmap + key
+
+    def test_scattered_failures_cap_at_raw_size(self):
+        table = FailureTable(100, G)
+        for page in range(100):
+            for offset in range(0, 64, 2):  # worst case: alternating
+                table.record_failure(page, offset)
+        # Capped at 2-byte key + raw-bitmap-equivalent payload.
+        assert table.compressed_size_bytes() <= 100 * (2 + 8)
+
+    def test_compression_monotone_in_failures(self):
+        table = FailureTable(1_000, G)
+        sizes = []
+        for page in range(0, 1_000, 10):
+            table.record_failure(page, page % 64)
+            sizes.append(table.compressed_size_bytes())
+        assert sizes == sorted(sizes)

@@ -1,0 +1,55 @@
+"""Tests for OS failure-buffer hygiene (re-writes to known failures)."""
+
+from repro.hardware.geometry import Geometry
+from repro.hardware.pcm import EnduranceModel, PcmModule
+from repro.osim.memory_manager import OsMemoryManager
+
+G = Geometry()
+
+
+def wearing_system(clustering=False):
+    pcm = PcmModule(
+        size_bytes=4 * G.region,
+        geometry=G,
+        endurance=EnduranceModel(mean_writes=3, cv=0.0),
+        ecc_entries_per_line=0,
+        clustering_enabled=clustering,
+    )
+    osmm = OsMemoryManager(pcm, geometry=G)
+    osmm.register_failure_handler(lambda events: None)
+    return osmm, pcm
+
+
+class TestRewriteDraining:
+    def test_rewrites_to_failed_line_do_not_fill_buffer(self):
+        osmm, pcm = wearing_system()
+        osmm.mmap_imperfect(2)
+        # Wear out line 0, then keep writing to it, like a mutator
+        # still storing into an object awaiting evacuation.
+        for _ in range(3):
+            pcm.write(0, 1, data="x")
+        assert 0 in pcm.failed_logical_lines()
+        for _ in range(200):
+            pcm.write(0, 1, data="again")
+        # The OS drained every parked re-write: the buffer stays tiny.
+        assert len(pcm.failure_buffer) < pcm.failure_buffer.capacity
+
+    def test_clustered_failure_clears_both_addresses(self):
+        osmm, pcm = wearing_system(clustering=True)
+        osmm.mmap_imperfect(2)
+        target = 10 * G.pcm_line
+        for _ in range(3):
+            pcm.write(target, 1, data="payload")
+        # Reported line (region edge) and original line both cleared.
+        assert len(pcm.failure_buffer) == 0
+        assert osmm.failure_table.failed_offsets(0) == {0}
+
+    def test_sustained_wear_storm_survives(self):
+        osmm, pcm = wearing_system(clustering=True)
+        osmm.mmap_imperfect(4)
+        # Hammer an entire page to failure, line by line.
+        for line in range(G.lines_per_page):
+            for _ in range(4):
+                pcm.write(line * G.pcm_line, 1)
+        assert len(pcm.failure_buffer) == 0
+        assert len(pcm.failed_logical_lines()) >= G.lines_per_page - 1

@@ -1,0 +1,80 @@
+"""Tests for the execution-time cost model."""
+
+import pytest
+
+from repro.collectors.stats import GcStats
+from repro.runtime.time_model import DEFAULT_COST_MODEL, CostModel
+
+
+def stats_with(**kwargs):
+    stats = GcStats()
+    for key, value in kwargs.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestComposition:
+    def test_empty_stats_cost_nothing(self):
+        model = CostModel()
+        assert model.total_time(GcStats()) == 0.0
+
+    def test_total_is_mutator_plus_gc(self):
+        model = CostModel()
+        stats = stats_with(bytes_allocated=1000, collections=2, bytes_traced=500)
+        assert model.total_time(stats) == pytest.approx(
+            model.mutator_time(stats) + model.gc_time(stats)
+        )
+
+    def test_app_work_dominates_clean_runs(self):
+        model = CostModel()
+        stats = stats_with(
+            bytes_allocated=10_000_000, fast_path_allocs=40_000, collections=15,
+            bytes_traced=5_000_000, lines_swept=100_000,
+        )
+        assert model.mutator_time(stats) > model.gc_time(stats)
+
+    def test_each_counter_contributes(self):
+        model = CostModel()
+        base = model.total_time(GcStats())
+        for field, value in (
+            ("run_advances", 10),
+            ("block_requests", 5),
+            ("perfect_block_requests", 1),
+            ("run_locality_units", 100.0),
+            ("block_sparsity_units", 100.0),
+            ("arraylet_bytes", 1000),
+            ("freelist_reuse_allocs", 10),
+            ("objects_copied", 0),  # free: copying charges bytes
+            ("bytes_copied", 100),
+            ("lines_marked", 50),
+            ("los_pages_reclaimed", 2),
+        ):
+            stats = stats_with(**{field: value})
+            assert model.total_time(stats) >= base, field
+
+
+class TestCalibration:
+    def test_units_to_ms(self):
+        model = CostModel(units_per_ms=1000.0)
+        assert model.to_ms(2500.0) == pytest.approx(2.5)
+
+    def test_pause_grows_with_live_bytes(self):
+        model = DEFAULT_COST_MODEL
+        small = model.full_gc_pause_ms(100_000)
+        big = model.full_gc_pause_ms(2_000_000)
+        assert big > small > 0
+
+    def test_default_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.gc_fixed = 0  # frozen dataclass
+
+    def test_describe_lists_fields(self):
+        text = DEFAULT_COST_MODEL.describe()
+        assert "app_work_per_byte" in text
+        assert "gc_fixed" in text
+
+    def test_custom_model_changes_results(self):
+        stats = stats_with(bytes_allocated=1_000_000, collections=10)
+        cheap_gc = CostModel(gc_fixed=0.0)
+        pricey_gc = CostModel(gc_fixed=1_000_000.0)
+        assert pricey_gc.total_time(stats) > cheap_gc.total_time(stats)

@@ -1,0 +1,73 @@
+"""Tests for the chip-binning study (paper section 7.4)."""
+
+import pytest
+
+from repro.sim.binning import (
+    DEFAULT_BINS,
+    BinReport,
+    evaluate_bins,
+    render_binning_report,
+    sample_population,
+)
+
+
+class TestSampling:
+    def test_population_is_deterministic(self):
+        a = sample_population(n_chips=200, seed=4)
+        b = sample_population(n_chips=200, seed=4)
+        assert a.densities == b.densities
+
+    def test_every_chip_binned_or_scrapped(self):
+        population = sample_population(n_chips=500, seed=1)
+        binned = sum(len(chips) for chips in population.bins.values())
+        assert binned + len(population.scrap) == 500
+
+    def test_bins_respect_ceilings(self):
+        population = sample_population(n_chips=500, seed=2)
+        ordered = sorted(DEFAULT_BINS, key=lambda item: item[1])
+        floor = 0.0
+        for name, ceiling in ordered:
+            for density in population.bins[name]:
+                assert floor < density <= ceiling or density <= ceiling
+            floor = ceiling
+        for density in population.scrap:
+            assert density > ordered[-1][1]
+
+    def test_yield_accounting(self):
+        population = sample_population(n_chips=500, seed=3)
+        assert 0.0 <= population.traditional_yield() <= population.yield_fraction() <= 1.0
+
+    def test_negative_chips_rejected(self):
+        with pytest.raises(ValueError):
+            sample_population(n_chips=-1)
+
+    def test_empty_population(self):
+        population = sample_population(n_chips=0)
+        assert population.yield_fraction() == 0.0
+        assert population.traditional_yield() == 0.0
+
+
+class TestEvaluation:
+    def test_reports_cover_all_bins(self):
+        population = sample_population(n_chips=300, seed=5)
+        reports = evaluate_bins(population, workload="luindex", scale=0.15)
+        assert [r.name for r in reports] == [name for name, _ in DEFAULT_BINS]
+        for report in reports:
+            if report.chips:
+                assert 0.0 < report.usable_fraction <= 1.0
+
+    def test_worse_bins_cost_more(self):
+        population = sample_population(n_chips=600, seed=6)
+        reports = {r.name: r for r in evaluate_bins(
+            population, workload="luindex", scale=0.15
+        )}
+        premium = reports["premium"].overhead
+        value = reports["value"].overhead
+        if premium is not None and value is not None:
+            assert value >= premium * 0.99
+
+    def test_render(self):
+        population = sample_population(n_chips=100, seed=7)
+        reports = [BinReport("premium", 0.001, 10, 0.0005, 0.9995, 1.001)]
+        text = render_binning_report(population, reports)
+        assert "premium" in text and "yield" in text

@@ -1,0 +1,74 @@
+"""Tests for experiment aggregation."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.generator import FailureModel
+from repro.sim.experiment import ExperimentRunner, geomean
+from repro.sim.machine import RunConfig
+
+QUICK = RunConfig(workload="luindex", heap_multiplier=2.0, scale=0.25)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestRunner:
+    def test_caching_avoids_reruns(self):
+        runner = ExperimentRunner(seeds=(0,))
+        first = runner.run_one(QUICK)
+        second = runner.run_one(QUICK)
+        assert first is second
+
+    def test_measure_aggregates_seeds(self):
+        runner = ExperimentRunner(seeds=(0, 1))
+        measurement = runner.measure(QUICK)
+        assert measurement.completed
+        assert len(measurement.results) == 2
+        times = [r.time_units for r in measurement.results]
+        assert measurement.mean_time == pytest.approx(sum(times) / 2)
+
+    def test_normalized_geomean_baseline_is_one(self):
+        runner = ExperimentRunner(seeds=(0,))
+        value = runner.normalized_geomean(["luindex"], QUICK, QUICK)
+        assert value == pytest.approx(1.0)
+
+    def test_normalized_geomean_none_on_dnf(self):
+        runner = ExperimentRunner(seeds=(0,))
+        hopeless = replace(
+            QUICK,
+            heap_multiplier=1.0,
+            failure_model=FailureModel(rate=0.50),
+            compensate=False,
+        )
+        assert runner.normalized_geomean(["luindex"], hopeless, QUICK) is None
+
+    def test_per_benchmark_overheads(self):
+        runner = ExperimentRunner(seeds=(0,))
+        overheads = runner.per_benchmark_overheads(["luindex"], QUICK, QUICK)
+        assert overheads == {"luindex": pytest.approx(1.0)}
+
+    def test_geomean_demand(self):
+        runner = ExperimentRunner(seeds=(0,))
+        demand = runner.geomean_demand(["luindex"], QUICK)
+        assert demand is not None and demand >= 1.0
+
+    def test_progress_callback(self):
+        messages = []
+        runner = ExperimentRunner(seeds=(0,), progress=messages.append)
+        runner.measure(QUICK)
+        assert messages and "luindex" in messages[0]

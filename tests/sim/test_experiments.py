@@ -1,0 +1,107 @@
+"""Smoke tests for the figure harnesses (tiny scale, two workloads).
+
+The real grids run in ``benchmarks/``; these only check that every
+harness produces well-formed data and sensible baselines.
+"""
+
+import pytest
+
+from repro.sim.experiment import ExperimentRunner
+from repro.sim import experiments
+
+WORKLOADS = ("luindex", "avrora")
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seeds=(0,))
+
+
+class TestFigureHarnesses:
+    def test_figure3_series_shapes(self, runner):
+        result = experiments.figure3(
+            runner, heap_multipliers=(2.0, 3.0), workloads=WORKLOADS, scale=SCALE
+        )
+        assert set(result.series) == {"MS", "IX", "S-MS", "S-IX"}
+        for points in result.series.values():
+            assert [x for x, _ in points] == [2.0, 3.0]
+        assert "Figure 3" in result.render()
+
+    def test_figure4_rows(self, runner):
+        result = experiments.figure4(
+            runner, rates=(0.0, 0.10), workloads=WORKLOADS, scale=SCALE
+        )
+        labels = [label for label, _ in result.rows]
+        assert labels[-1] == "geomean*"
+        zero_rate = dict(result.rows)["geomean*"][0]
+        assert zero_rate == pytest.approx(1.0, abs=0.02)
+
+    def test_figure5_variants(self, runner):
+        result = experiments.figure5(
+            runner, heap_multipliers=(2.0,), workloads=WORKLOADS, scale=SCALE
+        )
+        assert len(result.series) == 4
+
+    def test_figure6_returns_pair(self, runner):
+        fig_a, fig_b = experiments.figure6(
+            runner,
+            heap_multipliers=(2.0,),
+            line_sizes=(64, 256),
+            workloads=WORKLOADS,
+            scale=SCALE,
+        )
+        assert "6a" in fig_a.figure and "6b" in fig_b.figure
+        assert len(fig_a.series) == 2 and len(fig_b.series) == 2
+
+    def test_figure7_rate_axis(self, runner):
+        result = experiments.figure7(
+            runner, rates=(0.0, 0.10), line_sizes=(256,),
+            workloads=WORKLOADS, scale=SCALE,
+        )
+        points = dict(result.series["S-IXPCM L256"])
+        assert points[0.0] == pytest.approx(1.0, abs=0.02)
+
+    def test_figure8_granularity_axis(self, runner):
+        result = experiments.figure8(
+            runner, granularities=(256, 4096), rates=(0.10,),
+            workloads=WORKLOADS, scale=SCALE,
+        )
+        points = dict(result.series["10% failed"])
+        assert set(points) == {256, 4096}
+
+    def test_figure9_pair(self, runner):
+        fig_a, fig_b = experiments.figure9(
+            runner,
+            rates=(0.0, 0.10),
+            line_sizes=(256,),
+            clusterings=(0, 2),
+            workloads=WORKLOADS,
+            scale=SCALE,
+        )
+        assert set(fig_a.series) == {"L256", "L256 2CL"}
+        demand = dict(fig_b.series["L256 2CL"])
+        assert all(v is None or v >= 1.0 for v in demand.values())
+
+    def test_figure10_columns(self, runner):
+        result = experiments.figure10(
+            runner, rates=(0.10,), workloads=WORKLOADS, scale=SCALE
+        )
+        assert result.columns == ["1CL 10%", "2CL 10%"]
+        assert len(result.rows) == len(WORKLOADS)
+
+    def test_pauses_and_headline(self, runner):
+        pauses = experiments.section42_pauses(runner, workloads=WORKLOADS, scale=SCALE)
+        assert dict(pauses.rows)["mean"][0] > 0
+        head = experiments.headline(runner, workloads=WORKLOADS, scale=SCALE)
+        base = dict(head.rows)["no failures, failure-aware"][0]
+        assert base == pytest.approx(1.0, abs=0.02)
+
+    def test_render_handles_dnf(self, runner):
+        result = experiments.FigureResult(
+            figure="X", title="t",
+            series={"a": [(1.0, None), (2.0, 1.5)]},
+            x_label="x",
+        )
+        text = result.render()
+        assert "DNF" in text

@@ -1,0 +1,70 @@
+"""Tests for the memory-lifetime experiments."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.lifetime import (
+    retire_on_first_failure_lifetime,
+    run_lifetime,
+    write_heavy,
+)
+from repro.workloads import workload
+
+
+def tiny_spec():
+    spec = write_heavy(workload("luindex"), mutations_per_object=2.0)
+    return dataclasses.replace(spec, total_alloc_bytes=600_000)
+
+
+class TestWriteHeavy:
+    def test_enables_mutations(self):
+        spec = write_heavy(workload("antlr"), 3.0)
+        assert spec.mutations_per_object == 3.0
+        # Original spec untouched.
+        assert workload("antlr").mutations_per_object == 0.0
+
+
+class TestRunLifetime:
+    def test_requires_write_traffic(self):
+        with pytest.raises(ReproError):
+            run_lifetime(workload("antlr"), max_iterations=1)
+
+    def test_module_ages_across_iterations(self):
+        result = run_lifetime(
+            tiny_spec(), max_iterations=4, endurance_mean_writes=60, clustering=False
+        )
+        assert result.iterations_completed >= 1
+        assert len(result.records) >= 1
+        fractions = [r.failed_fraction for r in result.records]
+        assert fractions == sorted(fractions), "wear only accumulates"
+        assert result.final_failed_fraction >= fractions[0]
+
+    def test_records_carry_time_and_failures(self):
+        result = run_lifetime(
+            tiny_spec(), max_iterations=2, endurance_mean_writes=60
+        )
+        for record in result.records:
+            assert record.simulated_ms > 0
+
+    def test_label_defaults(self):
+        result = run_lifetime(tiny_spec(), max_iterations=1, clustering=True)
+        assert "2CL" in result.label
+        assert "2CL" in result.describe()
+
+
+class TestRetireBaseline:
+    def test_dies_young_with_few_failed_lines(self):
+        spec = tiny_spec()
+        retire = retire_on_first_failure_lifetime(
+            spec, max_iterations=10, endurance_mean_writes=40
+        )
+        aware = run_lifetime(
+            spec, clustering=False, max_iterations=10, endurance_mean_writes=40
+        )
+        # The paper's motivating asymmetry: page retirement wastes the
+        # module while almost all lines still work.
+        assert retire.iterations_completed <= aware.iterations_completed
+        if retire.iterations_completed < 10:
+            assert retire.final_failed_fraction < 0.10

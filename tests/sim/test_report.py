@@ -1,0 +1,62 @@
+"""Tests for plain-text report rendering."""
+
+from repro.sim.report import format_value, render_bars, render_series, render_table
+
+
+class TestFormatValue:
+    def test_none_is_dnf(self):
+        assert format_value(None) == "DNF"
+
+    def test_nan_is_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_precision(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+
+
+class TestRenderTable:
+    def test_contains_all_rows_and_columns(self):
+        text = render_table(
+            "My Table",
+            ["10%", "50%"],
+            [("alpha", [1.0, None]), ("beta", [1.5, 2.0])],
+        )
+        assert "My Table" in text
+        assert "10%" in text and "50%" in text
+        assert "alpha" in text and "beta" in text
+        assert "DNF" in text
+
+    def test_alignment_consistent(self):
+        text = render_table("T", ["c"], [("a", [1.0]), ("longer-name", [2.0])])
+        lines = [l for l in text.splitlines() if l and not l.startswith(("T", "="))]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+
+class TestRenderSeries:
+    def test_merges_x_values(self):
+        text = render_series(
+            "S",
+            {"a": [(1, 1.0), (2, 2.0)], "b": [(2, 3.0), (4, None)]},
+            x_label="x",
+            y_label="y",
+        )
+        for token in ("1", "2", "4", "a", "b", "DNF", "y = y"):
+            assert token in text
+
+    def test_float_x_formatting(self):
+        text = render_series("S", {"a": [(1.5, 1.0)]}, "x", "y")
+        assert "1.5" in text
+
+
+class TestRenderBars:
+    def test_bars_scale_with_values(self):
+        text = render_bars("B", {"small": 1.0, "big": 2.0})
+        lines = text.splitlines()
+        small = next(l for l in lines if l.startswith("small"))
+        big = next(l for l in lines if l.startswith("big"))
+        assert big.count("#") > small.count("#")
+
+    def test_dnf_rendered(self):
+        text = render_bars("B", {"x": None})
+        assert "DNF" in text

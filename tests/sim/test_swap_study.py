@@ -1,0 +1,42 @@
+"""Tests for the swap-compatibility study (paper section 3.2.3)."""
+
+import pytest
+
+from repro.sim.swap_study import render_swap_study, run_swap_study
+
+
+class TestSwapStudy:
+    def test_deterministic(self):
+        a = run_swap_study(0.10, clustered=False, n_pages=64, swaps=80, seed=2)
+        b = run_swap_study(0.10, clustered=False, n_pages=64, swaps=80, seed=2)
+        assert a == b
+
+    def test_clustered_mode_uses_count_matching(self):
+        result = run_swap_study(0.10, clustered=True, n_pages=64, swaps=80, seed=2)
+        assert result.clustered_hits > 0
+        assert result.subset_hits == 0
+
+    def test_uniform_mode_never_count_matches(self):
+        result = run_swap_study(0.10, clustered=False, n_pages=64, swaps=80, seed=2)
+        assert result.clustered_hits == 0
+
+    def test_clustering_reduces_stalls(self):
+        uniform = run_swap_study(0.10, clustered=False, n_pages=128, swaps=200, seed=4)
+        clustered = run_swap_study(0.10, clustered=True, n_pages=128, swaps=200, seed=4)
+        assert clustered.stall_rate <= uniform.stall_rate
+
+    def test_pristine_memory_never_stalls(self):
+        result = run_swap_study(0.0, clustered=False, n_pages=64, swaps=80, seed=1)
+        assert result.stall_rate == 0.0
+
+    def test_rates_bounded(self):
+        result = run_swap_study(0.25, clustered=True, n_pages=64, swaps=60, seed=9)
+        assert 0.0 <= result.cheap_hit_rate <= 1.0
+        assert 0.0 <= result.stall_rate <= 1.0
+
+    def test_render(self):
+        results = {
+            "demo": run_swap_study(0.05, clustered=True, n_pages=32, swaps=30, seed=0)
+        }
+        text = render_swap_study(results)
+        assert "demo" in text and "stalled" in text

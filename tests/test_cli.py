@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.names == ["headline"]
+        assert args.scale == pytest.approx(0.35)
+
+    def test_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "pmd", "--rate", "0.25", "--clustering", "2", "--line", "64"]
+        )
+        assert args.workload == "pmd"
+        assert args.rate == pytest.approx(0.25)
+        assert args.clustering == 2
+        assert args.line == 64
+
+    def test_bench_rejects_bad_line_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "pmd", "--line", "100"])
+
+    def test_lifetime_strategies(self):
+        args = build_parser().parse_args(["lifetime", "--strategy", "retire"])
+        assert args.strategy == "retire"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lifetime", "--strategy", "nonsense"])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("antlr", "pmd", "xalan", "lusearch-fix"):
+            assert name in out
+
+    def test_bench_runs_and_reports(self, capsys):
+        code = main(["bench", "luindex", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "collections" in out
+
+    def test_bench_dnf_exit_code(self, capsys):
+        code = main(
+            ["bench", "luindex", "--scale", "0.2", "--heap", "1.0",
+             "--rate", "0.5", "--no-compensate"]
+        )
+        assert code == 1
+        assert "DNF" in capsys.readouterr().out
+
+    def test_figures_unknown_name(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_figures_headline_quick(self, capsys):
+        code = main(["figures", "headline", "--scale", "0.15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Headline" in out
+        assert "no failures, failure-aware" in out
+
+    def test_figures_json_output(self, capsys):
+        import json
+
+        code = main(["figures", "headline", "--scale", "0.12", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "headline" in payload
+        rows = payload["headline"][0]["rows"]
+        assert rows[0][0] == "no failures, failure-aware"
+
+    def test_lifetime_command(self, capsys):
+        code = main(
+            ["lifetime", "--strategy", "retire", "--workload", "luindex",
+             "--iterations", "3", "--endurance", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retire page on first failure" in out
+        assert "iter" in out

@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in (
+            "ConfigError",
+            "GeometryError",
+            "OutOfMemoryError",
+            "PerfectMemoryExhaustedError",
+            "FailureBufferOverflowError",
+            "AddressError",
+            "ProtocolError",
+            "PinnedObjectError",
+        ):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_geometry_is_a_config_error(self):
+        assert issubclass(errors.GeometryError, errors.ConfigError)
+
+    def test_perfect_exhaustion_is_oom(self):
+        assert issubclass(errors.PerfectMemoryExhaustedError, errors.OutOfMemoryError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ProtocolError("handler missing")

@@ -1,0 +1,77 @@
+"""Tests for byte-size units and helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_paper_geometry_constants(self):
+        assert units.PCM_LINE_BYTES == 64
+        assert units.PAGE_BYTES == 4096
+        assert units.BLOCK_BYTES == 32 * 1024
+        assert units.IMMIX_LINE_BYTES == 256
+
+    def test_scaling(self):
+        assert units.MiB == 1024 * units.KiB
+        assert units.GiB == 1024 * units.MiB
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert units.is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -2, 3, 6, 12, 100):
+            assert not units.is_power_of_two(value)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert units.align_down(100, 64) == 64
+        assert units.align_down(64, 64) == 64
+        assert units.align_down(63, 64) == 0
+
+    def test_align_up(self):
+        assert units.align_up(100, 64) == 128
+        assert units.align_up(64, 64) == 64
+        assert units.align_up(0, 64) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([8, 64, 4096]))
+    def test_alignment_brackets_value(self, value, alignment):
+        down = units.align_down(value, alignment)
+        up = units.align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0 and up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "num,text",
+        [(64, "64B"), (4096, "4KB"), (32 * 1024, "32KB"), (3 * units.MiB, "3MB"), (100, "100B")],
+    )
+    def test_format_size(self, num, text):
+        assert units.format_size(num) == text
+
+    @pytest.mark.parametrize(
+        "text,num",
+        [
+            ("64B", 64),
+            ("4KB", 4096),
+            ("4 KB", 4096),
+            ("4KiB", 4096),
+            ("2MB", 2 * units.MiB),
+            ("1GB", units.GiB),
+            ("123", 123),
+        ],
+    )
+    def test_parse_size(self, text, num):
+        assert units.parse_size(text) == num
+
+    @given(st.sampled_from([64, 256, 4096, 32 * 1024, units.MiB, 7 * units.MiB]))
+    def test_round_trip(self, num):
+        assert units.parse_size(units.format_size(num)) == num

@@ -1,0 +1,70 @@
+"""Tests for the DaCapo-shaped workload catalogue."""
+
+import pytest
+
+from repro.workloads.dacapo import (
+    ANALYSIS_EXCLUDED,
+    DACAPO,
+    analysis_suite,
+    full_suite,
+    workload,
+)
+
+
+class TestCatalogue:
+    def test_thirteen_benchmarks(self):
+        assert len(DACAPO) == 13
+
+    def test_names_unique(self):
+        names = [spec.name for spec in DACAPO]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert workload("pmd").name == "pmd"
+        with pytest.raises(KeyError):
+            workload("nope")
+
+    def test_analysis_suite_excludes_buggy_lusearch(self):
+        names = {spec.name for spec in analysis_suite()}
+        assert "lusearch" not in names
+        assert "lusearch-fix" in names
+        assert ANALYSIS_EXCLUDED == ("lusearch",)
+
+    def test_full_suite_includes_everything(self):
+        assert len(full_suite()) == 13
+
+
+class TestPaperNarrative:
+    def test_lusearch_allocates_about_three_times_the_fixed_version(self):
+        buggy = workload("lusearch")
+        fixed = workload("lusearch-fix")
+        ratio = buggy.total_alloc_bytes / fixed.total_alloc_bytes
+        assert 2.5 <= ratio <= 3.5
+
+    def test_hsqldb_has_the_largest_live_set(self):
+        live = {spec.name: spec.expected_live_bytes() for spec in DACAPO}
+        assert max(live, key=live.get) == "hsqldb"
+
+    def test_pmd_and_jython_are_medium_heavy(self):
+        for name in ("pmd", "jython"):
+            spec = workload(name)
+            # Their medium band extends toward the LOS threshold,
+            # the property that makes them clustering-threshold
+            # sensitive in the paper.
+            assert spec.medium.hi >= 6 * 1024
+
+    def test_xalan_is_large_object_heavy(self):
+        def large_byte_share(spec):
+            small_w, medium_w, large_w = spec.size_weights
+            mean = lambda band: (band.lo + band.hi) / 2  # noqa: E731
+            s = small_w * mean(spec.small)
+            m = medium_w * mean(spec.medium)
+            l = large_w * mean(spec.large)
+            return l / (s + m + l)
+
+        shares = {spec.name: large_byte_share(spec) for spec in DACAPO}
+        assert shares["xalan"] > 0.5
+        assert shares["xalan"] > shares["pmd"]
+
+    def test_all_specs_have_descriptions(self):
+        assert all(spec.description for spec in DACAPO)
