@@ -5,15 +5,26 @@ evaluation. By default the grids run in *quick* mode (reduced allocation
 volume, one seed, a representative workload subset) so the whole
 directory finishes in minutes; set ``REPRO_FULL=1`` for the full grids
 (every workload, paper-size volumes, two seeds).
+
+Two more environment knobs thread through the parallel/persistent
+execution layer (see EXPERIMENTS.md, "Running sweeps in parallel"):
+
+* ``REPRO_JOBS=N`` — fan uncached grid cells out over N worker
+  processes (0 = one per CPU). Results are bit-identical to serial.
+* ``REPRO_CACHE_DIR=DIR`` — persist completed cells to DIR so repeated
+  benchmark invocations skip everything already measured.
 """
 
 import os
 
 import pytest
 
+from repro.sim.cache import ResultCache
 from repro.sim.experiment import ExperimentRunner
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
 
 #: Allocation-volume scale factor for quick mode.
 QUICK_SCALE = 0.35
@@ -39,7 +50,8 @@ def experiment_heaps():
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     seeds = (0, 1) if FULL else (0,)
-    return ExperimentRunner(seeds=seeds)
+    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+    return ExperimentRunner(seeds=seeds, cache=cache, jobs=JOBS)
 
 
 def run_once(benchmark, func, *args, **kwargs):

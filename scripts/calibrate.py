@@ -10,22 +10,28 @@ offline against the paper's anchor numbers:
 * 10% / 50% two-page clustering -> ~1.039 / ~1.124
 * mean run ~1817 ms, mean full-GC pause ~7 ms, ~15 GCs at 2x heap
 
-Usage: python scripts/calibrate.py [--scale 0.5] [--seeds 0 1]
+The raw counters are kept in the shared content-addressed result cache
+(`scripts/.calibration_cache/` by default), so repeated calibration
+runs — and any figure/sweep runs pointed at the same `--cache-dir` —
+skip every cell already measured. `--jobs N` fans uncached cells out
+over worker processes.
+
+Usage: python scripts/calibrate.py [--scale 0.5] [--seeds 0 1] [--jobs 4]
 """
 
 import argparse
-import pickle
 import sys
-from dataclasses import replace
 from pathlib import Path
 
 from repro.faults.generator import FailureModel
 from repro.runtime.time_model import CostModel
+from repro.sim.cache import ResultCache
 from repro.sim.experiment import geomean
-from repro.sim.machine import RunConfig, run_benchmark
+from repro.sim.machine import RunConfig
+from repro.sim.parallel import run_grid
 from repro.workloads.dacapo import analysis_suite
 
-CACHE = Path(__file__).parent / ".calibration_cache.pkl"
+CACHE_DIR = Path(__file__).parent / ".calibration_cache"
 
 CONFIGS = {
     # (failure model, immix line size)
@@ -44,27 +50,39 @@ CONFIGS = {
 }
 
 
-def collect(scale, seeds):
-    rows = {}
+def collect(scale, seeds, jobs=1, cache=None):
+    cells = []
+    grid = []
     for spec in analysis_suite():
         for key, (model, line) in CONFIGS.items():
             for seed in seeds:
-                config = RunConfig(
-                    workload=spec.name,
-                    heap_multiplier=2.0,
-                    failure_model=model,
-                    immix_line=line,
-                    scale=scale,
-                    seed=seed,
+                cells.append((spec.name, key, seed))
+                grid.append(
+                    RunConfig(
+                        workload=spec.name,
+                        heap_multiplier=2.0,
+                        failure_model=model,
+                        immix_line=line,
+                        scale=scale,
+                        seed=seed,
+                    )
                 )
-                result = run_benchmark(config)
-                rows[(spec.name, key, seed)] = result
-                print(
-                    f"  {spec.name:13s} {key:6s} seed{seed} "
-                    f"{'ok ' if result.completed else 'DNF'} "
-                    f"GCs={result.stats['collections']}",
-                    file=sys.stderr,
-                )
+    results, stats = run_grid(grid, jobs=jobs, cache=cache)
+    rows = {}
+    for (name, key, seed), result in zip(cells, results):
+        rows[(name, key, seed)] = result
+        print(
+            f"  {name:13s} {key:6s} seed{seed} "
+            f"{'ok ' if result.completed else 'DNF'} "
+            f"GCs={result.stats['collections']}",
+            file=sys.stderr,
+        )
+    print(
+        f"  grid: {stats.cells} cells, {stats.cache_hits} cache hits, "
+        f"{stats.cache_misses} misses, {stats.wall_s:.1f}s wall "
+        f"(utilization {stats.utilization:.0%})",
+        file=sys.stderr,
+    )
     return rows
 
 
@@ -103,14 +121,16 @@ def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seeds", type=int, nargs="+", default=[0])
-    parser.add_argument("--fresh", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=str(CACHE_DIR))
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore the persistent cache and re-run every cell",
+    )
     args = parser.parse_args()
 
-    if CACHE.exists() and not args.fresh:
-        rows = pickle.loads(CACHE.read_bytes())
-    else:
-        rows = collect(args.scale, args.seeds)
-        CACHE.write_bytes(pickle.dumps(rows))
+    cache = None if args.fresh else ResultCache(args.cache_dir)
+    rows = collect(args.scale, args.seeds, jobs=args.jobs, cache=cache)
 
     model = CostModel()
     out = evaluate(rows, model, args.seeds)

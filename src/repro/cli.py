@@ -3,14 +3,24 @@
 Commands
 --------
 ``figures``    regenerate one or more of the paper's figures
+``sweep``      run a (workload x rate x heap) grid, in parallel
 ``bench``      run one workload at one configuration and dump counters
 ``lifetime``   age a PCM module under a wear-management strategy
 ``workloads``  list the synthetic DaCapo-style workloads
+
+The ``figures`` and ``sweep`` commands accept ``--jobs`` (fan the grid
+out over worker processes; results are bit-identical to serial) and
+``--cache-dir`` (persist completed cells on disk so re-runs are nearly
+free). ``sweep`` additionally writes a ``BENCH_sweep.json`` artifact
+with per-cell wall times, cache hit/miss counts, and worker
+utilization.
 
 Examples::
 
     python -m repro workloads
     python -m repro figures headline fig4 --scale 0.35
+    python -m repro figures all --jobs 4 --cache-dir .repro-cache
+    python -m repro sweep --workloads pmd xalan --rates 0 0.1 0.5 --jobs 4
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
     python -m repro lifetime --strategy retire --iterations 10
 """
@@ -18,13 +28,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
 from .faults.generator import FailureModel
+from .sim.cache import ResultCache
 from .sim.experiment import ExperimentRunner
 from .sim.machine import RunConfig, run_benchmark
+from .sim.parallel import run_grid
 from .workloads.dacapo import DACAPO
 
 #: figure name -> callable(runner, scale) -> list of FigureResult
@@ -71,6 +84,36 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    _add_execution_arguments(figures)
+    figures.add_argument(
+        "--sweep-json",
+        metavar="PATH",
+        default=None,
+        help="write a BENCH_sweep.json execution artifact to PATH",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (workload x rate x heap) grid in parallel"
+    )
+    sweep.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="workload subset (default: analysis suite)",
+    )
+    sweep.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.10, 0.25, 0.50]
+    )
+    sweep.add_argument("--heaps", type=float, nargs="+", default=[2.0])
+    sweep.add_argument("--clustering", type=int, default=0, metavar="PAGES")
+    sweep.add_argument("--line", type=int, default=256, choices=[64, 128, 256])
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    sweep.add_argument("--scale", type=float, default=0.35)
+    sweep.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_sweep.json",
+        help="sweep artifact path (default: %(default)s)",
+    )
+    _add_execution_arguments(sweep)
 
     bench = sub.add_parser("bench", help="run one workload configuration")
     bench.add_argument("workload")
@@ -106,6 +149,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared parallel/cache knobs for grid-running subcommands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the run grid (0 = one per CPU); "
+        "parallel results are bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist completed cells here; re-runs skip cached cells",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir: neither read nor write the disk cache",
+    )
+
+
+def _build_cache(args) -> Optional[ResultCache]:
+    if args.no_cache or not args.cache_dir:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _write_sweep_artifact(path: str, stats_dict: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(stats_dict, handle, indent=2)
+    cache = stats_dict.get("cache", {})
+    print(
+        f"sweep artifact: {path} ({stats_dict['cells']} cells, "
+        f"{cache.get('hits', 0)} cache hits, {cache.get('misses', 0)} misses, "
+        f"utilization {stats_dict['utilization']:.0%})",
+        file=sys.stderr,
+    )
+
+
 def cmd_figures(args) -> int:
     _register_figures()
     names = list(args.names)
@@ -117,20 +201,79 @@ def cmd_figures(args) -> int:
         print(f"available: {', '.join(_FIGURES)}", file=sys.stderr)
         return 2
     progress = (lambda m: print("  ..", m, file=sys.stderr)) if args.progress else None
-    runner = ExperimentRunner(seeds=tuple(args.seeds), progress=progress)
+    cache = _build_cache(args)
+    runner = ExperimentRunner(
+        seeds=tuple(args.seeds), progress=progress, cache=cache, jobs=args.jobs
+    )
     if args.json:
-        import json
-
         payload = {
             name: [result.to_dict() for result in _FIGURES[name](runner, args.scale)]
             for name in names
         }
         print(json.dumps(payload, indent=2))
-        return 0
-    for name in names:
-        for result in _FIGURES[name](runner, args.scale):
-            print(result.render())
-            print()
+    else:
+        for name in names:
+            for result in _FIGURES[name](runner, args.scale):
+                print(result.render())
+                print()
+    if cache is not None:
+        counters = cache.counters()
+        print(
+            f"cache: {counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['stores']} stores ({args.cache_dir})",
+            file=sys.stderr,
+        )
+    if args.sweep_json:
+        summary = runner.sweep_summary()
+        if summary is None:
+            from .sim.parallel import SweepStats
+
+            summary = SweepStats(jobs=max(1, args.jobs))
+        payload = summary.to_dict()
+        if cache is not None:
+            # The runner's lazy path also consults the cache directly;
+            # the cache's own counters are the authoritative totals.
+            payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
+        _write_sweep_artifact(args.sweep_json, payload)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .workloads.dacapo import DACAPO, analysis_suite
+
+    available = [spec.name for spec in DACAPO]
+    names = args.workloads or [spec.name for spec in analysis_suite()]
+    unknown = [name for name in names if name not in available]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available)}", file=sys.stderr)
+        return 2
+    grid = [
+        RunConfig(
+            workload=name,
+            heap_multiplier=heap,
+            failure_model=FailureModel(rate=rate, hw_region_pages=args.clustering),
+            immix_line=args.line,
+            seed=seed,
+            scale=args.scale,
+        )
+        for name in names
+        for rate in args.rates
+        for heap in args.heaps
+        for seed in args.seeds
+    ]
+    cache = _build_cache(args)
+    results, stats = run_grid(grid, jobs=args.jobs, cache=cache)
+    print(f"{'workload':13s} {'rate':>5s} {'heap':>5s} {'seed':>4s} "
+          f"{'status':>7s} {'time(ms)':>10s}")
+    for result in results:
+        config = result.config
+        status = "ok" if result.completed else "DNF"
+        time_ms = f"{result.time_ms:10.1f}" if result.completed else f"{'-':>10s}"
+        print(f"{config.workload:13s} {config.failure_model.rate:5.0%} "
+              f"{config.heap_multiplier:5.2g} {config.seed:4d} "
+              f"{status:>7s} {time_ms}")
+    _write_sweep_artifact(args.out, stats.to_dict())
     return 0
 
 
@@ -219,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "figures": cmd_figures,
+        "sweep": cmd_sweep,
         "bench": cmd_bench,
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,

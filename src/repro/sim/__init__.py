@@ -2,6 +2,7 @@
 and the lifetime / binning / swap studies from the paper's discussion."""
 
 from .binning import evaluate_bins, render_binning_report, sample_population
+from .cache import ResultCache, cache_key, code_fingerprint
 from .experiment import BenchmarkMeasurement, ExperimentRunner, geomean
 from .lifetime import (
     LifetimeResult,
@@ -10,6 +11,7 @@ from .lifetime import (
     write_heavy,
 )
 from .machine import RunConfig, RunResult, min_heap_bytes, run_benchmark
+from .parallel import SweepStats, default_jobs, run_grid
 from .report import render_bars, render_series, render_table
 from .swap_study import SwapStudyResult, render_swap_study, run_swap_study
 
@@ -17,6 +19,12 @@ __all__ = [
     "evaluate_bins",
     "render_binning_report",
     "sample_population",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
+    "SweepStats",
+    "default_jobs",
+    "run_grid",
     "BenchmarkMeasurement",
     "ExperimentRunner",
     "geomean",

@@ -10,18 +10,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from .cache import ResultCache
 from .machine import RunConfig, RunResult, run_benchmark
+from .parallel import SweepStats, run_grid
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean; empty input returns nan."""
-    if not values:
+    """Geometric mean; empty or degenerate input returns nan.
+
+    A zero or negative value (a degenerate zero-time run) poisons the
+    aggregate rather than crashing whole-figure aggregation; callers
+    render nan as DNF via :func:`repro.sim.report.format_value`.
+    """
+    if not values or any(v <= 0 for v in values):
         return float("nan")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -35,42 +40,128 @@ class BenchmarkMeasurement:
     mean_ms: float
     mean_perfect_demand: float
     results: List[RunResult]
+    #: Seeds that completed / seeds attempted. Partial completion
+    #: (``0 < seeds_completed < seeds_total``) means the means above
+    #: average over a smaller sample than a fully-completed cell.
+    seeds_completed: int = 0
+    seeds_total: int = 0
+
+    @property
+    def partial(self) -> bool:
+        return 0 < self.seeds_completed < self.seeds_total
 
 
 class ExperimentRunner:
-    """Runs (workloads x configs x seeds) grids with caching."""
+    """Runs (workloads x configs x seeds) grids with caching.
+
+    Results are memoized per (config, cost model) in memory, and — when
+    ``cache`` is supplied — persisted to disk so later processes skip
+    completed cells. ``jobs > 1`` lets :meth:`prefetch` fan uncached
+    cells out over worker processes; parallel execution is bit-identical
+    to serial because each cell is deterministic and ordering is
+    restored by the grid index.
+    """
 
     def __init__(
         self,
         seeds: Sequence[int] = (0, 1),
         cost_model: CostModel = DEFAULT_COST_MODEL,
         progress: Optional[Callable[[str], None]] = None,
+        cache: Optional[ResultCache] = None,
+        jobs: int = 1,
     ) -> None:
         self.seeds = tuple(seeds)
         self.cost_model = cost_model
         self.progress = progress or (lambda message: None)
-        self._cache: Dict[RunConfig, RunResult] = {}
+        self.cache = cache
+        self.jobs = jobs
+        # Keyed on (config, cost model): two runners (or one runner
+        # whose model is swapped) must never share timings computed
+        # under different constants.
+        self._cache: Dict[Tuple[RunConfig, CostModel], RunResult] = {}
+        #: One entry per prefetch fan-out, for BENCH_sweep.json.
+        self.sweeps: List[SweepStats] = []
 
     # ------------------------------------------------------------------
     def run_one(self, config: RunConfig) -> RunResult:
-        cached = self._cache.get(config)
+        key = (config, self.cost_model)
+        cached = self._cache.get(key)
+        if cached is None and self.cache is not None:
+            cached = self.cache.get(config)
         if cached is None:
             cached = run_benchmark(config, self.cost_model)
-            self._cache[config] = cached
+            if self.cache is not None:
+                self.cache.put(config, cached)
+        self._cache[key] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    def prefetch(self, configs: Iterable[RunConfig]) -> Optional[SweepStats]:
+        """Execute every (config x seed) cell ahead of aggregation.
+
+        Expands seeds, dedups, and fans uncached cells out over
+        ``self.jobs`` workers, so the serial aggregation logic that
+        follows is all cache hits. A no-op when running serially with
+        no persistent cache — the lazy path is then strictly cheaper
+        (aggregation may early-exit and skip cells).
+        """
+        if self.jobs <= 1 and self.cache is None:
+            return None
+        expanded: List[RunConfig] = []
+        seen = set()
+        for config in configs:
+            for seed in self.seeds:
+                cell = replace(config, seed=seed)
+                key = (cell, self.cost_model)
+                if key in seen or key in self._cache:
+                    continue
+                seen.add(key)
+                expanded.append(cell)
+        if not expanded:
+            return None
+        results, stats = run_grid(
+            expanded,
+            cost_model=self.cost_model,
+            jobs=self.jobs,
+            cache=self.cache,
+            progress=None,
+        )
+        for cell, result in zip(expanded, results):
+            self._cache[(cell, self.cost_model)] = result
+        self.sweeps.append(stats)
+        return stats
+
+    def sweep_summary(self) -> Optional[SweepStats]:
+        """All prefetch fan-outs of this runner merged into one record."""
+        if not self.sweeps:
+            return None
+        merged = SweepStats(jobs=max(s.jobs for s in self.sweeps))
+        for stats in self.sweeps:
+            merged.merge(stats)
+        return merged
+
+    # ------------------------------------------------------------------
     def measure(self, config: RunConfig) -> BenchmarkMeasurement:
         """Run all seeds of one (workload, configuration) pair."""
         results = [self.run_one(replace(config, seed=seed)) for seed in self.seeds]
         completed = [r for r in results if r.completed]
+        if not completed:
+            status = "DNF"
+        elif len(completed) < len(results):
+            # Partial completion changes the sample size; say so rather
+            # than reporting a clean "ok".
+            status = f"ok {len(completed)}/{len(results)}"
+        else:
+            status = "ok"
         self.progress(
             f"{config.workload} {config.failure_model.describe()} "
-            f"L{config.immix_line} h{config.heap_multiplier:g}: "
-            f"{'ok' if completed else 'DNF'}"
+            f"L{config.immix_line} h{config.heap_multiplier:g}: {status}"
         )
         if not completed:
-            return BenchmarkMeasurement(config.workload, False, float("nan"),
-                                        float("nan"), float("nan"), results)
+            return BenchmarkMeasurement(
+                config.workload, False, float("nan"), float("nan"), float("nan"),
+                results, seeds_completed=0, seeds_total=len(results),
+            )
         return BenchmarkMeasurement(
             workload=config.workload,
             completed=True,
@@ -79,6 +170,8 @@ class ExperimentRunner:
             mean_perfect_demand=sum(r.perfect_page_demand for r in completed)
             / len(completed),
             results=results,
+            seeds_completed=len(completed),
+            seeds_total=len(results),
         )
 
     # ------------------------------------------------------------------

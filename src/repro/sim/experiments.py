@@ -35,6 +35,24 @@ def _baseline(scale: float) -> RunConfig:
     return RunConfig(workload="antlr", heap_multiplier=2.0, scale=scale)
 
 
+def _prefetch(
+    runner: ExperimentRunner,
+    names: Sequence[str],
+    configs: Sequence[RunConfig],
+) -> None:
+    """Warm the runner's caches for a (workloads x configs) grid.
+
+    Each figure enumerates its full grid up front so uncached cells can
+    fan out over ``runner.jobs`` workers; the serial aggregation below
+    then reads memoized results. A no-op for a serial, cache-less
+    runner (see :meth:`ExperimentRunner.prefetch`), keeping the default
+    path's lazy early-exit behaviour.
+    """
+    runner.prefetch(
+        replace(config, workload=name) for config in configs for name in names
+    )
+
+
 @dataclass
 class FigureResult:
     """Uniform result container for all harnesses."""
@@ -101,6 +119,17 @@ def figure3(
     reference = replace(
         _baseline(scale), heap_multiplier=max(heap_multipliers), collector="sticky-immix"
     )
+    collectors = ("marksweep", "immix", "sticky-marksweep", "sticky-immix")
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(_baseline(scale), collector=collector, heap_multiplier=multiplier)
+            for collector in collectors
+            for multiplier in heap_multipliers
+        ]
+        + [reference],
+    )
     series: Dict[str, list] = {}
     for collector, label in (
         ("marksweep", "MS"),
@@ -137,6 +166,15 @@ def figure4(
 ) -> FigureResult:
     names = list(workloads or suite_names(include_buggy_lusearch=True))
     baseline = _baseline(scale)
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(baseline, failure_model=FailureModel(rate=rate, hw_region_pages=2))
+            for rate in rates
+        ]
+        + [baseline],
+    )
     rows: List[Tuple[str, List[Optional[float]]]] = []
     per_rate: Dict[float, List[float]] = {rate: [] for rate in rates}
     for name in names:
@@ -181,6 +219,21 @@ def figure5(
         "S-IXPCM 10%": (FailureModel(rate=0.10), True),
         "S-IXPCM 10% 2CL": (FailureModel(rate=0.10, hw_region_pages=2), True),
     }
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                _baseline(scale),
+                heap_multiplier=multiplier,
+                failure_model=model,
+                compensate=compensate,
+            )
+            for model, compensate in variants.values()
+            for multiplier in heap_multipliers
+        ]
+        + [reference],
+    )
     series: Dict[str, list] = {}
     for label, (model, compensate) in variants.items():
         points = []
@@ -217,6 +270,22 @@ def figure6(
     names = list(workloads or suite_names())
     reference = replace(
         _baseline(scale), heap_multiplier=max(heap_multipliers), immix_line=256
+    )
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                _baseline(scale),
+                immix_line=line,
+                heap_multiplier=multiplier,
+                failure_model=model,
+            )
+            for line in line_sizes
+            for multiplier in heap_multipliers
+            for model in (FailureModel(), FailureModel(rate=0.10))
+        ]
+        + [reference],
     )
     no_failure: Dict[str, list] = {}
     with_failure: Dict[str, list] = {}
@@ -264,6 +333,16 @@ def figure7(
 ) -> FigureResult:
     names = list(workloads or suite_names())
     baseline = _baseline(scale)  # S-IX L256, no failures, 2x heap
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(baseline, immix_line=line, failure_model=FailureModel(rate=rate))
+            for line in line_sizes
+            for rate in rates
+        ]
+        + [baseline],
+    )
     series: Dict[str, list] = {}
     for line in line_sizes:
         points = []
@@ -296,6 +375,19 @@ def figure8(
 ) -> FigureResult:
     names = list(workloads or suite_names())
     baseline = _baseline(scale)
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                baseline,
+                failure_model=FailureModel(rate=rate, cluster_bytes=granularity),
+            )
+            for rate in rates
+            for granularity in granularities
+        ]
+        + [baseline],
+    )
     series: Dict[str, list] = {}
     for rate in rates:
         points = []
@@ -330,6 +422,21 @@ def figure9(
 ) -> Tuple[FigureResult, FigureResult]:
     names = list(workloads or suite_names())
     baseline = _baseline(scale)
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                baseline,
+                immix_line=line,
+                failure_model=FailureModel(rate=rate, hw_region_pages=clustering),
+            )
+            for clustering in clusterings
+            for line in line_sizes
+            for rate in rates
+        ]
+        + [baseline],
+    )
     perf: Dict[str, list] = {}
     demand: Dict[str, list] = {}
     for clustering in clusterings:
@@ -377,6 +484,19 @@ def figure10(
 ) -> FigureResult:
     names = list(workloads or suite_names())
     baseline = _baseline(scale)
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                baseline,
+                failure_model=FailureModel(rate=rate, hw_region_pages=clustering),
+            )
+            for clustering in (1, 2)
+            for rate in rates
+        ]
+        + [baseline],
+    )
     rows = []
     columns = []
     for name in names:
@@ -410,6 +530,7 @@ def section42_pauses(
     scale: float = 1.0,
 ) -> FigureResult:
     names = list(workloads or suite_names())
+    _prefetch(runner, names, [_baseline(scale)])
     rows = []
     pauses: Dict[str, float] = {}
     for name in names:
@@ -446,14 +567,21 @@ def headline(
 ) -> FigureResult:
     names = list(workloads or suite_names())
     baseline = _baseline(scale)
-    rows = []
-    for label, model in (
+    headline_models = (
         ("no failures, failure-aware", FailureModel()),
         ("10% unclustered", FailureModel(rate=0.10)),
         ("50% unclustered", FailureModel(rate=0.50)),
         ("10% + 2-page clustering", FailureModel(rate=0.10, hw_region_pages=2)),
         ("50% + 2-page clustering", FailureModel(rate=0.50, hw_region_pages=2)),
-    ):
+    )
+    _prefetch(
+        runner,
+        names,
+        [replace(baseline, failure_model=model) for _, model in headline_models]
+        + [baseline],
+    )
+    rows = []
+    for label, model in headline_models:
         config = replace(baseline, failure_model=model)
         value = runner.normalized_geomean(names, config, baseline)
         rows.append((label, [value]))

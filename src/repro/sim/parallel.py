@@ -1,0 +1,227 @@
+"""Parallel, resumable execution of experiment grids.
+
+The unit of work is one :class:`~repro.sim.machine.RunConfig` cell.
+``run_grid`` fans cells out over ``multiprocessing`` workers and
+returns results **in input order**, so parallel output is bit-identical
+to a serial run — ``run_benchmark`` is deterministic in (config, cost
+model), and ordering is restored by index regardless of completion
+order.
+
+When a :class:`~repro.sim.cache.ResultCache` is supplied, cells already
+on disk are served without touching the pool, and fresh results are
+published for the next invocation — repeated figure/sweep runs only pay
+for cells they have never seen.
+
+Every call also produces a :class:`SweepStats` record (per-cell wall
+time, cache hit/miss counts, worker utilization) so the performance of
+the harness itself stays observable; the CLI serializes it as
+``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from .cache import ResultCache
+from .machine import RunConfig, RunResult, run_benchmark
+
+#: Sweep-artifact schema identifier (see EXPERIMENTS.md).
+SWEEP_SCHEMA = "repro.sweep/1"
+
+
+def default_jobs() -> int:
+    """Worker count used for ``--jobs 0`` (auto): one per CPU, capped."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+@dataclass
+class CellTiming:
+    """Wall-clock record of one grid cell."""
+
+    index: int
+    workload: str
+    description: str
+    wall_s: float
+    cached: bool
+    completed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "config": self.description,
+            "wall_s": self.wall_s,
+            "cached": self.cached,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class SweepStats:
+    """Aggregate accounting of one ``run_grid`` call."""
+
+    jobs: int
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+    #: Sum of per-cell execution time (the work the pool actually did).
+    busy_s: float = 0.0
+    timings: List[CellTiming] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """busy / (jobs x wall): 1.0 means every worker was saturated."""
+        if self.wall_s <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.jobs * self.wall_s))
+
+    def merge(self, other: "SweepStats") -> None:
+        base = len(self.timings)
+        self.cells += other.cells
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.wall_s += other.wall_s
+        self.busy_s += other.busy_s
+        for timing in other.timings:
+            self.timings.append(
+                CellTiming(
+                    index=base + timing.index,
+                    workload=timing.workload,
+                    description=timing.description,
+                    wall_s=timing.wall_s,
+                    cached=timing.cached,
+                    completed=timing.completed,
+                )
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "jobs": self.jobs,
+            "cells": self.cells,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "cell_timings": [timing.to_dict() for timing in self.timings],
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_WORKER_COST_MODEL: CostModel = DEFAULT_COST_MODEL
+
+
+def _init_worker(cost_model: CostModel) -> None:
+    global _WORKER_COST_MODEL
+    _WORKER_COST_MODEL = cost_model
+
+
+def _run_cell(item: Tuple[int, RunConfig]) -> Tuple[int, RunResult, float]:
+    index, config = item
+    start = time.perf_counter()
+    result = run_benchmark(config, _WORKER_COST_MODEL)
+    return index, result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def run_grid(
+    configs: Sequence[RunConfig],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[List[RunResult], SweepStats]:
+    """Execute every cell; results come back in input order.
+
+    ``jobs <= 1`` runs inline (no pool); ``jobs == 0`` means auto
+    (:func:`default_jobs`). Cached cells never reach the pool.
+    """
+    if jobs == 0:
+        jobs = default_jobs()
+    configs = list(configs)
+    stats = SweepStats(jobs=max(1, jobs), cells=len(configs))
+    results: List[Optional[RunResult]] = [None] * len(configs)
+    started = time.perf_counter()
+
+    pending: List[Tuple[int, RunConfig]] = []
+    for index, config in enumerate(configs):
+        if cache is not None:
+            lookup_start = time.perf_counter()
+            hit = cache.get(config)
+            if hit is not None:
+                results[index] = hit
+                stats.cache_hits += 1
+                stats.timings.append(
+                    CellTiming(
+                        index=index,
+                        workload=config.workload,
+                        description=_describe(config),
+                        wall_s=time.perf_counter() - lookup_start,
+                        cached=True,
+                        completed=hit.completed,
+                    )
+                )
+                continue
+            stats.cache_misses += 1
+        pending.append((index, config))
+
+    if pending:
+        if jobs <= 1:
+            _init_worker(cost_model)
+            try:
+                completions = [_run_cell(item) for item in pending]
+            finally:
+                _init_worker(DEFAULT_COST_MODEL)
+        else:
+            workers = min(jobs, len(pending))
+            context = multiprocessing.get_context()
+            with context.Pool(
+                workers, initializer=_init_worker, initargs=(cost_model,)
+            ) as pool:
+                completions = list(pool.imap_unordered(_run_cell, pending))
+        for index, result, wall in completions:
+            results[index] = result
+            stats.busy_s += wall
+            stats.timings.append(
+                CellTiming(
+                    index=index,
+                    workload=result.config.workload,
+                    description=_describe(result.config),
+                    wall_s=wall,
+                    cached=False,
+                    completed=result.completed,
+                )
+            )
+            if cache is not None:
+                cache.put(result.config, result)
+            if progress is not None:
+                progress(
+                    f"{result.config.workload} {_describe(result.config)}: "
+                    f"{'ok' if result.completed else 'DNF'} ({wall:.2f}s)"
+                )
+
+    stats.timings.sort(key=lambda timing: timing.index)
+    stats.wall_s = time.perf_counter() - started
+    final = [result for result in results if result is not None]
+    assert len(final) == len(configs)
+    return final, stats
+
+
+def _describe(config: RunConfig) -> str:
+    return (
+        f"{config.failure_model.describe()} L{config.immix_line} "
+        f"h{config.heap_multiplier:g} {config.collector} seed{config.seed}"
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -93,7 +94,10 @@ class TraceDriver:
 
     def run(self, sink) -> DriveResult:
         spec = self.spec
-        rng = random.Random((self.seed << 16) ^ hash(spec.name) & 0xFFFF)
+        # crc32, not hash(): str hashes are randomized per process
+        # (PYTHONHASHSEED), which made traces — and thus every result —
+        # irreproducible across processes, workers, and cache entries.
+        rng = random.Random((self.seed << 16) ^ (zlib.crc32(spec.name.encode()) & 0xFFFF))
         clock = 0
         cohorts = 0
         expired = 0

@@ -1,0 +1,101 @@
+"""Tests for the persistent content-addressed result cache."""
+
+from dataclasses import replace
+
+from repro.faults.generator import FailureModel
+from repro.runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from repro.sim.cache import (
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.machine import RunConfig, run_benchmark
+
+QUICK = RunConfig(
+    workload="luindex",
+    scale=0.2,
+    failure_model=FailureModel(rate=0.10, hw_region_pages=2),
+)
+
+
+class TestSerialization:
+    def test_config_round_trip(self):
+        assert config_from_dict(config_to_dict(QUICK)) == QUICK
+
+    def test_result_round_trip(self):
+        result = run_benchmark(QUICK)
+        restored = result_from_dict(result_to_dict(result))
+        assert restored == result
+        assert restored.config == QUICK
+        assert restored.stats == result.stats
+
+
+class TestCacheKey:
+    def test_stable_for_equal_inputs(self):
+        assert cache_key(QUICK) == cache_key(replace(QUICK))
+
+    def test_differs_per_config(self):
+        assert cache_key(QUICK) != cache_key(replace(QUICK, seed=1))
+        assert cache_key(QUICK) != cache_key(replace(QUICK, heap_multiplier=3.0))
+        assert cache_key(QUICK) != cache_key(
+            replace(QUICK, failure_model=FailureModel(rate=0.25))
+        )
+
+    def test_differs_per_cost_model(self):
+        other = CostModel(app_work_per_byte=110.0)
+        assert cache_key(QUICK, DEFAULT_COST_MODEL) != cache_key(QUICK, other)
+
+    def test_differs_per_code_fingerprint(self):
+        assert cache_key(QUICK, fingerprint="aaaa") != cache_key(
+            QUICK, fingerprint="bbbb"
+        )
+
+    def test_code_fingerprint_is_hex_and_cached(self):
+        first = code_fingerprint()
+        assert len(first) == 64
+        int(first, 16)
+        assert code_fingerprint() is first
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(QUICK) is None
+        result = run_benchmark(QUICK)
+        cache.put(QUICK, result)
+        assert cache.get(QUICK) == result
+        assert cache.counters() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_cost_model_isolation(self, tmp_path):
+        # Two runners with different cost models must never share
+        # cached timings through the same directory.
+        root = tmp_path / "cache"
+        fast = ResultCache(root, cost_model=DEFAULT_COST_MODEL)
+        slow = ResultCache(root, cost_model=CostModel(app_work_per_byte=110.0))
+        fast.put(QUICK, run_benchmark(QUICK))
+        assert slow.get(QUICK) is None
+
+    def test_code_fingerprint_invalidation(self, tmp_path):
+        root = tmp_path / "cache"
+        old = ResultCache(root, fingerprint="version-1")
+        new = ResultCache(root, fingerprint="version-2")
+        old.put(QUICK, run_benchmark(QUICK))
+        assert old.get(QUICK) is not None
+        assert new.get(QUICK) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        path = cache._path(cache.key(QUICK))
+        path.write_text("{not json")
+        assert cache.get(QUICK) is None
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.get(QUICK) is None

@@ -22,9 +22,11 @@ class TestGeomean:
     def test_empty_is_nan(self):
         assert math.isnan(geomean([]))
 
-    def test_non_positive_rejected(self):
-        with pytest.raises(ValueError):
-            geomean([1.0, 0.0])
+    def test_non_positive_is_nan(self):
+        # A degenerate zero-time run must not crash whole-figure
+        # aggregation; nan renders as DNF via report.format_value.
+        assert math.isnan(geomean([1.0, 0.0]))
+        assert math.isnan(geomean([-1.0, 2.0]))
 
 
 class TestRunner:
@@ -72,3 +74,64 @@ class TestRunner:
         runner = ExperimentRunner(seeds=(0,), progress=messages.append)
         runner.measure(QUICK)
         assert messages and "luindex" in messages[0]
+
+    def test_cache_key_includes_cost_model(self):
+        # Same config under a different cost model must not reuse the
+        # cached timing computed under the old constants.
+        from repro.runtime.time_model import CostModel
+
+        runner = ExperimentRunner(seeds=(0,))
+        before = runner.run_one(QUICK)
+        runner.cost_model = CostModel(app_work_per_byte=110.0)
+        after = runner.run_one(QUICK)
+        assert after is not before
+        assert after.time_units > before.time_units
+
+    def test_measure_reports_partial_completion(self, monkeypatch):
+        from dataclasses import replace as dc_replace
+
+        runner = ExperimentRunner(seeds=(0, 1), progress=[].append)
+        real = runner.run_one(QUICK)
+
+        def fake_run_one(config):
+            result = dc_replace(real, config=config)
+            if config.seed == 1:
+                result = dc_replace(result, completed=False)
+            return result
+
+        messages = []
+        runner.progress = messages.append
+        monkeypatch.setattr(runner, "run_one", fake_run_one)
+        measurement = runner.measure(QUICK)
+        assert measurement.completed
+        assert measurement.seeds_completed == 1
+        assert measurement.seeds_total == 2
+        assert measurement.partial
+        assert any("ok 1/2" in message for message in messages)
+
+    def test_measure_records_full_completion_counts(self):
+        runner = ExperimentRunner(seeds=(0, 1))
+        measurement = runner.measure(QUICK)
+        assert measurement.seeds_completed == 2
+        assert measurement.seeds_total == 2
+        assert not measurement.partial
+
+
+class TestRunnerPrefetch:
+    def test_prefetch_noop_when_serial_and_cacheless(self):
+        runner = ExperimentRunner(seeds=(0,))
+        assert runner.prefetch([QUICK]) is None
+        assert runner.sweeps == []
+
+    def test_prefetch_fills_memory_cache(self, tmp_path):
+        from repro.sim.cache import ResultCache
+
+        runner = ExperimentRunner(
+            seeds=(0,), cache=ResultCache(tmp_path / "cache")
+        )
+        stats = runner.prefetch([QUICK])
+        assert stats is not None and stats.cells == 1
+        assert (QUICK, runner.cost_model) in runner._cache
+        # Lazy path must now be a pure lookup (same object back).
+        assert runner.run_one(QUICK) is runner._cache[(QUICK, runner.cost_model)]
+        assert runner.sweep_summary().cells == 1

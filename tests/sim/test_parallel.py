@@ -1,0 +1,92 @@
+"""Tests for the parallel grid executor (sim/parallel.py)."""
+
+import pytest
+
+from repro.faults.generator import FailureModel
+from repro.sim.cache import ResultCache
+from repro.sim.machine import RunConfig
+from repro.sim.parallel import SweepStats, default_jobs, run_grid
+
+
+def small_grid():
+    return [
+        RunConfig(
+            workload=name,
+            scale=0.2,
+            seed=seed,
+            failure_model=FailureModel(rate=rate),
+        )
+        for name in ("luindex", "antlr")
+        for seed in (0, 1)
+        for rate in (0.0, 0.10)
+    ]
+
+
+class TestRunGrid:
+    def test_serial_matches_input_order(self):
+        grid = small_grid()
+        results, stats = run_grid(grid, jobs=1)
+        assert [r.config for r in results] == grid
+        assert stats.cells == len(grid)
+        assert len(stats.timings) == len(grid)
+
+    def test_parallel_identical_to_serial(self):
+        grid = small_grid()
+        serial, _ = run_grid(grid, jobs=1)
+        parallel, stats = run_grid(grid, jobs=4)
+        assert parallel == serial
+        assert [r.config for r in parallel] == grid
+        assert stats.jobs == 4
+
+    def test_progress_called_per_cell(self):
+        messages = []
+        grid = small_grid()[:2]
+        run_grid(grid, jobs=1, progress=messages.append)
+        assert len(messages) == 2
+        assert "luindex" in messages[0]
+
+    def test_auto_jobs(self):
+        assert default_jobs() >= 1
+        results, stats = run_grid(small_grid()[:2], jobs=0)
+        assert len(results) == 2
+        assert stats.jobs == default_jobs()
+
+    def test_cached_cells_skip_the_pool(self, tmp_path):
+        grid = small_grid()
+        cache = ResultCache(tmp_path / "cache")
+        first, first_stats = run_grid(grid, jobs=2, cache=cache)
+        assert first_stats.cache_misses == len(grid)
+        assert first_stats.cache_hits == 0
+        second, second_stats = run_grid(grid, jobs=2, cache=cache)
+        assert second_stats.cache_hits == len(grid)
+        assert second_stats.cache_misses == 0
+        assert second == first
+        assert all(timing.cached for timing in second_stats.timings)
+
+
+class TestSweepStats:
+    def test_utilization_bounds(self):
+        stats = SweepStats(jobs=2, cells=2, wall_s=1.0, busy_s=1.0)
+        assert stats.utilization == pytest.approx(0.5)
+        assert SweepStats(jobs=2).utilization == 0.0
+
+    def test_to_dict_schema(self):
+        grid = small_grid()[:2]
+        _, stats = run_grid(grid, jobs=1)
+        payload = stats.to_dict()
+        assert payload["schema"] == "repro.sweep/1"
+        assert payload["cells"] == 2
+        assert payload["cache"] == {"hits": 0, "misses": 0}
+        assert len(payload["cell_timings"]) == 2
+        cell = payload["cell_timings"][0]
+        assert {"index", "workload", "config", "wall_s", "cached", "completed"} \
+            <= set(cell)
+
+    def test_merge_accumulates(self):
+        grid = small_grid()[:2]
+        _, a = run_grid(grid, jobs=1)
+        _, b = run_grid(grid, jobs=1)
+        a.merge(b)
+        assert a.cells == 4
+        assert len(a.timings) == 4
+        assert [t.index for t in a.timings] == [0, 1, 2, 3]

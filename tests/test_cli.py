@@ -34,6 +34,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["lifetime", "--strategy", "nonsense"])
 
+    def test_figures_execution_flags(self):
+        args = build_parser().parse_args(
+            ["figures", "headline", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--no-cache", "--sweep-json", "out.json"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.sweep_json == "out.json"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads is None
+        assert args.rates == [0.0, 0.10, 0.25, 0.50]
+        assert args.heaps == [2.0]
+        assert args.jobs == 1
+        assert args.out == "BENCH_sweep.json"
+
 
 class TestCommands:
     def test_workloads_lists_all(self, capsys):
@@ -77,6 +95,47 @@ class TestCommands:
         assert "headline" in payload
         rows = payload["headline"][0]["rows"]
         assert rows[0][0] == "no failures, failure-aware"
+
+    def test_sweep_writes_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_sweep.json"
+        code = main(
+            ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+             "--heaps", "2.0", "--scale", "0.2", "--out", str(out)]
+        )
+        assert code == 0
+        assert "luindex" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.sweep/1"
+        assert payload["cells"] == 2
+        assert len(payload["cell_timings"]) == 2
+
+    def test_sweep_cache_hits_on_second_run(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_sweep.json"
+        argv = ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+                "--heaps", "2.0", "--scale", "0.2", "--out", str(out),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = json.loads(out.read_text())
+        assert first["cache"] == {"hits": 0, "misses": 2}
+        assert main(argv) == 0
+        second = json.loads(out.read_text())
+        assert second["cache"] == {"hits": 2, "misses": 0}
+        capsys.readouterr()
+
+    def test_figures_with_cache_and_jobs(self, capsys, tmp_path):
+        argv = ["figures", "headline", "--scale", "0.15",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        # Identical rendered output, and the re-run is all cache hits.
+        assert second.out == first.out
+        assert "0 misses" in second.err
 
     def test_lifetime_command(self, capsys):
         code = main(
