@@ -1,0 +1,192 @@
+"""Violation records and the heap-audit coordinator.
+
+The paper's design only works if four views of the same failure state
+stay consistent: the hardware's ECC-exhausted lines, the OS failure
+table's per-page bitmaps, the per-block Immix line marks, and the
+clustering redirection maps. :class:`HeapAuditor` cross-checks them at
+configurable points in a run; every disagreement becomes a structured
+:class:`Violation` carrying the layer, the page/block/line coordinates,
+and a human-readable diff of the two disagreeing views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigError, HeapAuditError
+
+#: ``--verify-heap`` / ``REPRO_VERIFY`` levels, weakest to strongest.
+#:
+#: off       no checking (the default; zero overhead)
+#: gc        full audit after every collection and at end of run
+#: upcall    ``gc`` plus an audit after every dynamic-failure up-call
+#: paranoid  ``upcall`` plus a sampled audit during mutator allocation
+VERIFY_LEVELS = ("off", "gc", "upcall", "paranoid")
+
+#: Paranoid mode audits every Nth allocation; a full audit is O(heap),
+#: so auditing every allocation would make runs quadratic.
+PARANOID_ALLOC_INTERVAL = 64
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One cross-layer inconsistency found by a checker.
+
+    ``expected`` and ``actual`` are renderings of the two disagreeing
+    views (the authoritative one first), so a report reads as a diff:
+    which layer diverged, where, and what each side believes.
+    """
+
+    #: Stable kebab-case identifier of the broken invariant.
+    invariant: str
+    #: Layer that holds the diverging state: ``hardware`` / ``os`` /
+    #: ``heap`` / ``runtime``.
+    layer: str
+    #: What went wrong, in one sentence.
+    message: str
+    #: The authoritative view (what the state should be).
+    expected: str = ""
+    #: The diverging view (what was actually found).
+    actual: str = ""
+    #: Physical page index, when the violation is page-addressable.
+    page: Optional[int] = None
+    #: Immix block virtual index, when block-addressable.
+    block: Optional[int] = None
+    #: Line index — an Immix line when ``block`` is set, otherwise a
+    #: page-relative PCM line offset.
+    line: Optional[int] = None
+
+    def where(self) -> str:
+        coords = [
+            f"{name}={value}"
+            for name, value in (("page", self.page), ("block", self.block), ("line", self.line))
+            if value is not None
+        ]
+        return ", ".join(coords) if coords else "heap-wide"
+
+    def describe(self) -> str:
+        text = f"[{self.layer}] {self.invariant} at {self.where()}: {self.message}"
+        if self.expected or self.actual:
+            text += f"\n    expected: {self.expected}\n    actual:   {self.actual}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "layer": self.layer,
+            "message": self.message,
+            "expected": self.expected,
+            "actual": self.actual,
+            "page": self.page,
+            "block": self.block,
+            "line": self.line,
+        }
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one full audit pass."""
+
+    #: What prompted the audit (``gc``, ``upcall``, ``alloc``, ``final``,
+    #: or ``manual``).
+    trigger: str
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        if self.ok:
+            return f"audit ({self.trigger}): {self.checks_run} checkers, no violations"
+        lines = [
+            f"audit ({self.trigger}): {len(self.violations)} violation(s) "
+            f"across {self.checks_run} checkers"
+        ]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "trigger": self.trigger,
+            "checks_run": self.checks_run,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def check_verify_level(level: str) -> str:
+    if level not in VERIFY_LEVELS:
+        raise ConfigError(
+            f"unknown verify level {level!r}; choose from {VERIFY_LEVELS}"
+        )
+    return level
+
+
+class HeapAuditor:
+    """Runs every layer checker against one VM at configured points.
+
+    Parameters
+    ----------
+    vm:
+        The :class:`~repro.runtime.vm.VirtualMachine` to audit.
+    level:
+        One of :data:`VERIFY_LEVELS`.
+    record_only:
+        Collect violations in :attr:`violations` instead of raising
+        :class:`~repro.errors.HeapAuditError` (campaign mode).
+    """
+
+    def __init__(self, vm, level: str = "off", record_only: bool = False) -> None:
+        self.vm = vm
+        self.level = check_verify_level(level)
+        self.record_only = record_only
+        self.audits_run = 0
+        self.violations: List[Violation] = []
+        self.reports: List[AuditReport] = []
+        self._allocs_since_audit = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    def audit(self, trigger: str = "manual") -> AuditReport:
+        """One full pass over every checker, regardless of level."""
+        from .invariants import run_all_checkers
+
+        violations, checks_run = run_all_checkers(self.vm, trigger)
+        report = AuditReport(trigger=trigger, violations=violations, checks_run=checks_run)
+        self.audits_run += 1
+        self.reports.append(report)
+        if not report.ok:
+            self.violations.extend(report.violations)
+            if not self.record_only:
+                raise HeapAuditError(report.render())
+        return report
+
+    # ------------------------------------------------------------------
+    # Hooks, called by the VM
+    # ------------------------------------------------------------------
+    def after_gc(self) -> None:
+        if self.enabled:
+            self.audit("gc")
+
+    def after_upcall(self) -> None:
+        if self.level in ("upcall", "paranoid"):
+            self.audit("upcall")
+
+    def after_alloc(self) -> None:
+        if self.level != "paranoid":
+            return
+        self._allocs_since_audit += 1
+        if self._allocs_since_audit >= PARANOID_ALLOC_INTERVAL:
+            self._allocs_since_audit = 0
+            self.audit("alloc")
+
+    def final(self) -> Optional[AuditReport]:
+        """End-of-run audit; the cheapest place to catch drift."""
+        if self.enabled:
+            return self.audit("final")
+        return None

@@ -1,0 +1,621 @@
+"""One checker per layer of the cooperative stack.
+
+Each checker recomputes a layer's view of the failure/heap state from
+first principles and compares it against the state the layer actually
+maintains. The layers and their authoritative chains:
+
+* hardware — ECC-exhausted lines, redirection maps (permutations with a
+  contiguous failed run at the region's parity edge);
+* os — failure-table bitmaps mirror the module's failed logical lines,
+  page pools partition the page universe, the failure buffer is drained
+  after every service;
+* heap — per-block line marks match a recomputation from the block's
+  objects and failed lines, objects never overlap each other or a
+  failed line;
+* runtime — every heap page has exactly one owner (block, LOS, free
+  span, or parked penalty), the page directory mirrors ownership, and
+  byte/debt accounting conserves.
+
+Checkers tolerate the model's documented transients: line marks lag
+allocation until the next sweep (``Block.place`` does not mark), an
+evacuation-flagged block legitimately holds live objects on failed
+lines until the forced collection runs, and pinned or abort-restored
+objects may overlap failed lines permanently (the paper's "never move
+pinned objects" rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..collectors.immix import ImmixCollector
+from ..hardware.clustering import region_direction
+from ..heap import line_table
+from ..heap.line_table import FAILED, FREE, LIVE, LIVE_PINNED
+from ..osim.page import PageKind
+from .audit import Violation
+
+
+def _expected_line_states(block) -> bytearray:
+    """Recompute a block's line marks the way the sweep would."""
+    states = bytearray(block.n_lines)
+    for line in block.failed_lines:
+        states[line] = FAILED
+    line_size = block.geometry.immix_line
+    for obj in block.objects:
+        state = LIVE_PINNED if obj.pinned else LIVE
+        for line in obj.line_span(line_size):
+            if states[line] == FAILED:
+                continue
+            if states[line] != LIVE_PINNED:
+                states[line] = state
+    return states
+
+
+def _overlap_tolerated(block, obj) -> bool:
+    """Live-on-failed overlaps the model legitimately reaches."""
+    return obj.pinned or block.evacuate or obj.oid in block.aborted_evacuations
+
+
+# ======================================================================
+# Heap layer
+# ======================================================================
+def check_block_line_marks(vm, violations: List[Violation], trigger: str) -> None:
+    """Per block: actual line marks vs a recomputation from objects."""
+    collector = vm.collector
+    if not isinstance(collector, ImmixCollector):
+        return
+    for block in collector.blocks:
+        expected = _expected_line_states(block)
+        actual = block.line_states
+        for line in range(block.n_lines):
+            exp, act = expected[line], actual[line]
+            if exp == act:
+                continue
+            if block.allocated_since_gc and act in (FREE, LIVE) and exp in (
+                LIVE,
+                LIVE_PINNED,
+            ):
+                # place() does not mark lines; marks lag allocation
+                # until the next sweep. Only the stale direction is
+                # legal — a mark claiming MORE than the objects do is
+                # still a violation.
+                continue
+            invariant = (
+                "failed-line-masked" if line in block.failed_lines else "line-mark-drift"
+            )
+            violations.append(
+                Violation(
+                    invariant=invariant,
+                    layer="heap",
+                    block=block.virtual_index,
+                    line=line,
+                    message="line mark disagrees with recomputation from "
+                    "the block's objects and failed-line set",
+                    expected=line_table.state_name(exp),
+                    actual=line_table.state_name(act),
+                )
+            )
+
+
+def check_object_placement(vm, violations: List[Violation], trigger: str) -> None:
+    """Objects stay in bounds, never overlap, never sit on failed lines."""
+    collector = vm.collector
+    if not isinstance(collector, ImmixCollector):
+        return
+    for block in collector.blocks:
+        line_size = block.geometry.immix_line
+        placed = sorted(
+            (obj for obj in block.objects if obj.offset is not None),
+            key=lambda o: o.offset,
+        )
+        prev_end = 0
+        prev_oid = None
+        for obj in placed:
+            if obj.offset + obj.size > block.geometry.block:
+                violations.append(
+                    Violation(
+                        invariant="object-out-of-bounds",
+                        layer="heap",
+                        block=block.virtual_index,
+                        message=f"object {obj.oid} ends at byte "
+                        f"{obj.offset + obj.size}",
+                        expected=f"<= block size {block.geometry.block}",
+                        actual=f"offset {obj.offset} + size {obj.size}",
+                    )
+                )
+            if obj.offset < prev_end:
+                violations.append(
+                    Violation(
+                        invariant="object-overlap",
+                        layer="heap",
+                        block=block.virtual_index,
+                        message=f"objects {prev_oid} and {obj.oid} overlap",
+                        expected=f"object {obj.oid} to start at or after "
+                        f"byte {prev_end}",
+                        actual=f"starts at byte {obj.offset}",
+                    )
+                )
+            prev_end = max(prev_end, obj.offset + obj.size)
+            prev_oid = obj.oid
+            for line in obj.line_span(line_size):
+                if line in block.failed_lines and not _overlap_tolerated(block, obj):
+                    violations.append(
+                        Violation(
+                            invariant="object-on-failed-line",
+                            layer="heap",
+                            block=block.virtual_index,
+                            line=line,
+                            message=f"live object {obj.oid} overlaps a "
+                            "failed line with no evacuation pending",
+                            expected="failed lines hold no live data",
+                            actual=f"object spans lines "
+                            f"{obj.line_span(line_size)}",
+                        )
+                    )
+
+
+def check_block_failure_seeding(vm, violations: List[Violation], trigger: str) -> None:
+    """block.failed_lines == Immix lines poisoned by its pages' holes."""
+    collector = vm.collector
+    if not isinstance(collector, ImmixCollector):
+        return
+    geometry = vm.geometry
+    for block in collector.blocks:
+        expected: Set[int] = set()
+        for slot, page in enumerate(block.pages):
+            for offset in page.failed_offsets:
+                byte_offset = slot * geometry.page + offset * geometry.pcm_line
+                expected.add(byte_offset // geometry.immix_line)
+        if expected != block.failed_lines:
+            violations.append(
+                Violation(
+                    invariant="failed-line-seeding",
+                    layer="heap",
+                    block=block.virtual_index,
+                    message="block failed-line set disagrees with the "
+                    "false-failure expansion of its pages' failure maps",
+                    expected=f"lines {sorted(expected)}",
+                    actual=f"lines {sorted(block.failed_lines)}",
+                )
+            )
+
+
+# ======================================================================
+# OS layer
+# ======================================================================
+def check_failure_chain(vm, violations: List[Violation], trigger: str) -> None:
+    """VM failure maps ⊆ OS failure table == module failed lines."""
+    os_mm = vm.os
+    pcm = vm.injector.pcm
+    geometry = vm.geometry
+    per_page = geometry.lines_per_page
+
+    # OS table vs hardware: the table must record exactly the logical
+    # lines the module reports failed (static absorb + serviced drains).
+    table_lines: Set[int] = set()
+    for page_index in os_mm.failure_table.imperfect_pages():
+        for offset in os_mm.failure_table.failed_offsets(page_index):
+            table_lines.add(page_index * per_page + offset)
+    hw_lines = pcm.failed_logical_lines()
+    if table_lines != hw_lines:
+        missing = sorted(hw_lines - table_lines)[:8]
+        extra = sorted(table_lines - hw_lines)[:8]
+        violations.append(
+            Violation(
+                invariant="failure-table-sync",
+                layer="os",
+                message="OS failure table diverged from the module's "
+                "failed logical lines",
+                expected=f"{len(hw_lines)} hardware lines "
+                f"(first unrecorded: {missing})",
+                actual=f"{len(table_lines)} table lines "
+                f"(first phantom: {extra})",
+            )
+        )
+
+    # VM view vs OS table: every hole the runtime believes in must be
+    # backed by the OS table. (Subset, not equality: a dynamic failure
+    # on a page currently free in the VM's supply never reaches the
+    # collector's per-page view.) page_retirement fabricates whole-page
+    # holes VM-side on purpose, so the comparison is meaningless there.
+    if not vm.config.page_retirement:
+        for page, where in _vm_heap_pages(vm):
+            if page.index < 0 or page.index >= os_mm.n_pcm_pages:
+                continue
+            os_offsets = os_mm.failure_table.failed_offsets(page.index)
+            extra_offsets = set(page.failed_offsets) - os_offsets
+            if extra_offsets:
+                violations.append(
+                    Violation(
+                        invariant="vm-failure-map-subset",
+                        layer="os",
+                        page=page.index,
+                        message=f"runtime page ({where}) records failed "
+                        "offsets the OS failure table never saw",
+                        expected=f"subset of OS offsets {sorted(os_offsets)}",
+                        actual=f"extra offsets {sorted(extra_offsets)}",
+                    )
+                )
+
+    # The failure buffer must be drained once service completes. The
+    # upcall audit runs *inside* service_failures, before the OS
+    # acknowledges what it received, so entries are expected there.
+    if trigger != "upcall" and len(pcm.failure_buffer) != 0:
+        pending = [f"{e.address:#x}" for e in pcm.failure_buffer.pending()[:8]]
+        violations.append(
+            Violation(
+                invariant="failure-buffer-drained",
+                layer="os",
+                message="failure buffer holds entries outside a service "
+                "window (the OS drain/acknowledge cycle leaked them)",
+                expected="0 entries",
+                actual=f"{len(pcm.failure_buffer)} entries at {pending}",
+            )
+        )
+
+
+def check_os_pools(vm, violations: List[Violation], trigger: str) -> None:
+    """Pools partition the page universe; descriptors match the table."""
+    os_mm = vm.os
+    pools = os_mm.pools
+    membership: Dict[int, List[str]] = {}
+    for name, indices in (
+        ("perfect", pools._perfect),
+        ("imperfect", pools._imperfect),
+        ("dram", pools._dram),
+        ("allocated", pools._allocated),
+    ):
+        for index in indices:
+            membership.setdefault(index, []).append(name)
+    for index, descriptor in pools.pages.items():
+        owners = membership.get(index, [])
+        if len(owners) != 1:
+            violations.append(
+                Violation(
+                    invariant="page-pool-partition",
+                    layer="os",
+                    page=index,
+                    message="every physical page belongs to exactly one "
+                    "pool or the allocated set",
+                    expected="exactly one owner",
+                    actual=f"owners {owners or ['none']}",
+                )
+            )
+            continue
+        owner = owners[0]
+        if owner == "perfect" and not descriptor.is_perfect:
+            violations.append(
+                Violation(
+                    invariant="perfect-pool-purity",
+                    layer="os",
+                    page=index,
+                    message="imperfect page sitting in the perfect pool",
+                    expected="no failed offsets",
+                    actual=f"offsets {sorted(descriptor.failed_offsets)}",
+                )
+            )
+        if owner == "imperfect" and descriptor.is_perfect:
+            violations.append(
+                Violation(
+                    invariant="imperfect-pool-purity",
+                    layer="os",
+                    page=index,
+                    message="perfect page sitting in the imperfect pool",
+                    expected="at least one failed offset",
+                    actual="page descriptor is perfect",
+                )
+            )
+        if owner == "dram" and descriptor.kind is not PageKind.DRAM:
+            violations.append(
+                Violation(
+                    invariant="dram-pool-purity",
+                    layer="os",
+                    page=index,
+                    message="PCM page sitting in the DRAM pool",
+                    expected="kind DRAM",
+                    actual=f"kind {descriptor.kind.name}",
+                )
+            )
+        if (
+            descriptor.kind is PageKind.PCM
+            and index < os_mm.n_pcm_pages
+            and set(descriptor.failed_offsets)
+            != os_mm.failure_table.failed_offsets(index)
+        ):
+            violations.append(
+                Violation(
+                    invariant="page-descriptor-sync",
+                    layer="os",
+                    page=index,
+                    message="page descriptor's failure set diverged from "
+                    "the failure-table bitmap",
+                    expected=f"table offsets "
+                    f"{sorted(os_mm.failure_table.failed_offsets(index))}",
+                    actual=f"descriptor offsets "
+                    f"{sorted(descriptor.failed_offsets)}",
+                )
+            )
+    for index in membership:
+        if index not in pools.pages:
+            violations.append(
+                Violation(
+                    invariant="page-pool-partition",
+                    layer="os",
+                    page=index,
+                    message="pool references a page with no descriptor",
+                    expected="an entry in pools.pages",
+                    actual=f"owners {membership[index]}",
+                )
+            )
+
+
+# ======================================================================
+# Hardware layer
+# ======================================================================
+def check_redirection_maps(vm, violations: List[Violation], trigger: str) -> None:
+    """Installed maps are permutations with the failed run at the edge."""
+    pcm = vm.injector.pcm
+    if pcm.clustering is None:
+        return
+    geometry = vm.geometry
+    per_region = geometry.lines_per_region
+    hw_lines = pcm.failed_logical_lines()
+    for region_index, rmap in sorted(pcm.clustering._maps.items()):
+        if sorted(rmap.logical_to_physical) != list(range(rmap.n_lines)):
+            violations.append(
+                Violation(
+                    invariant="redirection-permutation",
+                    layer="hardware",
+                    message=f"region {region_index} redirection map is "
+                    "not a permutation of its line offsets",
+                    expected=f"a permutation of 0..{rmap.n_lines - 1}",
+                    actual=f"{len(set(rmap.logical_to_physical))} distinct "
+                    f"entries over {rmap.n_lines} slots",
+                )
+            )
+        if rmap.direction != region_direction(region_index):
+            violations.append(
+                Violation(
+                    invariant="redirection-parity",
+                    layer="hardware",
+                    message=f"region {region_index} clusters failures at "
+                    "the wrong edge for its parity",
+                    expected=region_direction(region_index),
+                    actual=rmap.direction,
+                )
+            )
+        failed_zone = rmap.failed_logical_offsets()
+        if len(failed_zone) != rmap.failed_count:
+            violations.append(
+                Violation(
+                    invariant="redirection-failed-run",
+                    layer="hardware",
+                    message=f"region {region_index} failed-zone length "
+                    "disagrees with its failure count",
+                    expected=f"{rmap.failed_count} offsets",
+                    actual=f"range {failed_zone}",
+                )
+            )
+        base = region_index * per_region
+        unreported = [
+            base + offset for offset in failed_zone if base + offset not in hw_lines
+        ]
+        if unreported:
+            violations.append(
+                Violation(
+                    invariant="redirection-reported",
+                    layer="hardware",
+                    message=f"region {region_index} map holds failed "
+                    "slots the module never reported as failed lines",
+                    expected="every failed-zone slot in "
+                    "pcm.failed_logical_lines()",
+                    actual=f"unreported logical lines {unreported[:8]}",
+                )
+            )
+        # One-way count check: software may observe extra failures in a
+        # region (statically injected pre-clustered maps never install
+        # hardware maps), but the map must never exceed the physical
+        # failure count of its region.
+        physical_in_region = sum(
+            1 for line in pcm._failed_physical if line // per_region == region_index
+        )
+        if rmap.failed_count > physical_in_region:
+            violations.append(
+                Violation(
+                    invariant="redirection-overcount",
+                    layer="hardware",
+                    message=f"region {region_index} map records more "
+                    "failures than physically occurred in the region",
+                    expected=f"<= {physical_in_region} physical failures",
+                    actual=f"failed_count {rmap.failed_count}",
+                )
+            )
+
+
+# ======================================================================
+# Runtime layer
+# ======================================================================
+def _vm_heap_pages(vm) -> List[Tuple[object, str]]:
+    """Every live HeapPage the runtime tracks, with its owner label."""
+    pages: List[Tuple[object, str]] = []
+    supply = vm.supply
+    collector = vm.collector
+    if isinstance(collector, ImmixCollector):
+        for block in collector.blocks:
+            for page in block.pages:
+                pages.append((page, f"block {block.virtual_index}"))
+        for obj in collector.los.objects():
+            for page in obj.los_placement.pages:
+                pages.append((page, f"los object {obj.oid}"))
+    for span in supply._spans:
+        for page in span.free:
+            pages.append((page, f"span {span.index} free list"))
+    for page in supply._parked:
+        pages.append((page, "parked penalty"))
+    return pages
+
+
+def check_page_conservation(vm, violations: List[Violation], trigger: str) -> None:
+    """Every supply page is owned exactly once; the directory mirrors it."""
+    collector = vm.collector
+    supply = vm.supply
+    if not isinstance(collector, ImmixCollector):
+        return
+    universe = {page.index for span in supply._spans for page in span.pages}
+    owners: Dict[int, List[str]] = {}
+    for page, where in _vm_heap_pages(vm):
+        if page.index >= 0:
+            owners.setdefault(page.index, []).append(where)
+    for index in sorted(universe | set(owners)):
+        holders = owners.get(index, [])
+        if index not in universe:
+            violations.append(
+                Violation(
+                    invariant="page-conservation",
+                    layer="runtime",
+                    page=index,
+                    message="runtime holds a page outside the supply's "
+                    "span universe",
+                    expected="a page from the mapped heap",
+                    actual=f"held by {holders}",
+                )
+            )
+        elif len(holders) != 1:
+            violations.append(
+                Violation(
+                    invariant="page-conservation",
+                    layer="runtime",
+                    page=index,
+                    message="heap page must have exactly one owner "
+                    "(block, LOS, free span, or parked)",
+                    expected="exactly one owner",
+                    actual=f"owners {holders or ['none']}",
+                )
+            )
+
+    # Borrowed (negative-index) pages: the lent set must be exactly the
+    # negative pages reachable through blocks and LOS placements.
+    lent = {page.index for page in supply._borrowed_held}
+    reachable = {
+        page.index
+        for page, _ in _vm_heap_pages(vm)
+        if page.index < 0 and page.borrowed
+    }
+    if lent != reachable:
+        violations.append(
+            Violation(
+                invariant="borrowed-page-tracking",
+                layer="runtime",
+                message="the supply's lent-page ledger diverged from the "
+                "borrowed pages actually placed in the heap",
+                expected=f"ledger {sorted(lent)}",
+                actual=f"reachable {sorted(reachable)}",
+            )
+        )
+
+    # The page directory must map exactly the pages blocks and the LOS
+    # hold, each entry pointing back at its true owner.
+    expected_dir: Dict[int, Tuple] = {}
+    for block in collector.blocks:
+        for slot, page in enumerate(block.pages):
+            expected_dir[page.index] = ("block", id(block), slot)
+    for obj in collector.los.objects():
+        for page in obj.los_placement.pages:
+            expected_dir[page.index] = ("los", id(obj))
+    actual_dir: Dict[int, Tuple] = {}
+    for index, entry in collector.page_directory.items():
+        if entry[0] == "block":
+            actual_dir[index] = ("block", id(entry[1]), entry[2])
+        else:
+            actual_dir[index] = ("los", id(entry[1]))
+    for index in sorted(set(expected_dir) | set(actual_dir)):
+        if expected_dir.get(index) != actual_dir.get(index):
+            violations.append(
+                Violation(
+                    invariant="page-directory-sync",
+                    layer="runtime",
+                    page=index,
+                    message="page directory entry disagrees with the "
+                    "page's actual owner (dynamic failures on this page "
+                    "would be misrouted)",
+                    expected=str(expected_dir.get(index)),
+                    actual=str(actual_dir.get(index)),
+                )
+            )
+
+
+def check_space_accounting(vm, violations: List[Violation], trigger: str) -> None:
+    """Debt/parked/lent ledgers agree; byte accounting stays conserved."""
+    supply = vm.supply
+    debt = supply.accountant.debt
+    parked = len(supply._parked)
+    lent = len(supply._borrowed_held)
+    if not (debt == parked == lent):
+        violations.append(
+            Violation(
+                invariant="borrow-penalty-accounting",
+                layer="runtime",
+                message="debit-credit ledgers diverged: every borrowed "
+                "page parks exactly one penalty page",
+                expected="debt == parked == lent pages",
+                actual=f"debt {debt}, parked {parked}, lent {lent}",
+            )
+        )
+    collector = vm.collector
+    if not isinstance(collector, ImmixCollector):
+        return
+    los_pages = sum(obj.los_placement.n_pages for obj in collector.los.objects())
+    if los_pages != collector.los.pages_in_use:
+        violations.append(
+            Violation(
+                invariant="los-page-accounting",
+                layer="runtime",
+                message="LOS pages_in_use diverged from the sum of its "
+                "live placements",
+                expected=f"{los_pages} pages across placements",
+                actual=f"pages_in_use {collector.los.pages_in_use}",
+            )
+        )
+    live_bytes = sum(obj.size for block in collector.blocks for obj in block.objects)
+    live_bytes += sum(obj.size for obj in collector.los.objects())
+    if live_bytes > vm.stats.bytes_allocated:
+        violations.append(
+            Violation(
+                invariant="byte-accounting",
+                layer="runtime",
+                message="live placed bytes exceed cumulative allocation "
+                "(an object was placed without being accounted)",
+                expected=f"<= {vm.stats.bytes_allocated} bytes allocated",
+                actual=f"{live_bytes} live bytes",
+            )
+        )
+
+
+#: The full checker suite, in layer order (hardware outward).
+ALL_CHECKERS = (
+    check_redirection_maps,
+    check_failure_chain,
+    check_os_pools,
+    check_block_failure_seeding,
+    check_block_line_marks,
+    check_object_placement,
+    check_page_conservation,
+    check_space_accounting,
+)
+
+
+def run_all_checkers(vm, trigger: str = "manual") -> Tuple[List[Violation], int]:
+    """Run every checker against ``vm``; returns (violations, n_run)."""
+    violations: List[Violation] = []
+    for checker in ALL_CHECKERS:
+        checker(vm, violations, trigger)
+    return violations, len(ALL_CHECKERS)
+
+
+def audit_vm(vm, trigger: str = "manual"):
+    """Convenience: one full audit pass, returning the report."""
+    from .audit import AuditReport
+
+    violations, checks_run = run_all_checkers(vm, trigger)
+    return AuditReport(trigger=trigger, violations=violations, checks_run=checks_run)

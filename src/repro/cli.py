@@ -5,6 +5,7 @@ Commands
 ``figures``    regenerate one or more of the paper's figures
 ``sweep``      run a (workload x rate x heap) grid, in parallel
 ``bench``      run one workload at one configuration and dump counters
+``check``      run a randomized fault-injection audit campaign
 ``lifetime``   age a PCM module under a wear-management strategy
 ``workloads``  list the synthetic DaCapo-style workloads
 
@@ -22,6 +23,7 @@ Examples::
     python -m repro figures all --jobs 4 --cache-dir .repro-cache
     python -m repro sweep --workloads pmd xalan --rates 0 0.1 0.5 --jobs 4
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
+    python -m repro check --seed 0
     python -m repro lifetime --strategy retire --iterations 10
 """
 
@@ -33,6 +35,7 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from .check.audit import VERIFY_LEVELS
 from .faults.generator import FailureModel
 from .sim.cache import ResultCache
 from .sim.experiment import ExperimentRunner
@@ -134,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--verify-heap",
+        default=None,
+        choices=list(VERIFY_LEVELS),
+        metavar="LEVEL",
+        help="cross-layer heap auditing: off, gc, upcall, or paranoid "
+        "(default: the REPRO_VERIFY environment variable, else off)",
+    )
+
+    check = sub.add_parser(
+        "check", help="run a randomized fault-injection audit campaign"
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="workload subset (default: luindex antlr fop)",
+    )
+    check.add_argument("--scale", type=float, default=0.05)
+    check.add_argument(
+        "--level",
+        default="paranoid",
+        choices=[lvl for lvl in VERIFY_LEVELS if lvl != "off"],
+        help="audit trigger density (default: %(default)s)",
+    )
 
     lifetime = sub.add_parser("lifetime", help="age a PCM module")
     lifetime.add_argument(
@@ -289,7 +316,7 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         scale=args.scale,
     )
-    result = run_benchmark(config)
+    result = run_benchmark(config, verify=args.verify_heap)
     baseline = run_benchmark(
         replace(config, failure_model=FailureModel(), compensate=True)
     )
@@ -309,6 +336,27 @@ def cmd_bench(args) -> int:
     print(f"  {'perfect_page_demand':24s} {result.perfect_page_demand}")
     print(f"  {'borrowed_pages':24s} {result.borrowed_pages}")
     return 0 if result.completed else 1
+
+
+def cmd_check(args) -> int:
+    from .check import run_campaign
+    from .workloads.dacapo import DACAPO
+
+    if args.workloads:
+        available = [spec.name for spec in DACAPO]
+        unknown = [name for name in args.workloads if name not in available]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(available)}", file=sys.stderr)
+            return 2
+    result = run_campaign(
+        seed=args.seed,
+        workloads=args.workloads,
+        scale=args.scale,
+        level=args.level,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def cmd_lifetime(args) -> int:
@@ -364,6 +412,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": cmd_figures,
         "sweep": cmd_sweep,
         "bench": cmd_bench,
+        "check": cmd_check,
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,
     }

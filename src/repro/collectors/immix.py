@@ -142,6 +142,10 @@ class ImmixCollector:
         self._remset: Set[SimObject] = set()
         #: page index -> (block, slot) for dynamic-failure routing.
         self.page_directory: Dict[int, tuple] = {}
+        # A borrowed page repaying debt adopts a real page's index
+        # (PageSupply.release); re-key its directory entry or dynamic
+        # failures on that page would be silently dropped.
+        supply.on_page_reindexed = self._reindex_page
         #: Objects displaced by a failure and awaiting re-placement
         #: (drained by the VM after the forced full collection).
         self.displaced: List[SimObject] = []
@@ -555,9 +559,16 @@ class ImmixCollector:
         self.blocks = kept
 
     def _sweep_los(self, epoch: int, keep_old: bool) -> None:
-        freed = self.los.sweep(epoch, keep_old=keep_old)
-        for page in freed:
-            self.page_directory.pop(page.index, None)
+        def retire_directory_entries(obj: SimObject) -> None:
+            # Before the release: freeing a perfect page while debt is
+            # outstanding re-keys a live borrowed placement under this
+            # same index, and a late pop would clobber its new entry.
+            for page in obj.los_placement.pages:
+                self.page_directory.pop(page.index, None)
+
+        freed = self.los.sweep(
+            epoch, keep_old=keep_old, on_free=retire_directory_entries
+        )
         self.stats.los_pages_reclaimed += len(freed)
 
     def _release_block(self, block: Block, from_list: bool = True) -> None:
@@ -610,6 +621,7 @@ class ImmixCollector:
                     obj.moved_count += 1
                 else:
                     block.place(obj, old_offset)
+                    block.aborted_evacuations.add(obj.oid)
                     self.stats.evacuations_aborted += 1
             block.evacuate = False
             block.rebuild_line_marks(epoch, keep_old=True)
@@ -650,8 +662,11 @@ class ImmixCollector:
         The failed line's page is found through the page directory. A
         block page poisons its Immix line, flags the block for
         evacuation, and requires a full collection (the paper reuses the
-        defragmentation mechanism). A large object's page triggers an
-        immediate reallocation of that object onto fresh perfect pages.
+        defragmentation mechanism) — unless the Immix line was already
+        failed (a duplicate hit from a second PCM line poisoning the
+        same larger Immix line), which holds no live data and needs no
+        evacuation. A large object's page triggers an immediate
+        reallocation of that object onto fresh perfect pages.
         """
         entry = self.page_directory.get(page_index)
         if entry is None:
@@ -660,8 +675,12 @@ class ImmixCollector:
             _, block, slot = entry
             page = block.pages[slot]
             page.failed_offsets = frozenset(page.failed_offsets) | {pcm_offset}
-            block.record_dynamic_failure(slot, pcm_offset)
-            return True
+            _, newly_failed = block.record_dynamic_failure(slot, pcm_offset)
+            if newly_failed:
+                self.stats.dynamic_failed_lines += 1
+            else:
+                self.stats.duplicate_dynamic_failures += 1
+            return newly_failed
         _, obj = entry
         old_pages = list(obj.los_placement.pages)
         for page in old_pages:
@@ -678,6 +697,12 @@ class ImmixCollector:
             return False
         self.displaced.append(obj)
         return True
+
+    def _reindex_page(self, old_index: int, new_index: int) -> None:
+        """A held page changed identity (borrowed -> real); follow it."""
+        entry = self.page_directory.pop(old_index, None)
+        if entry is not None:
+            self.page_directory[new_index] = entry
 
     # ------------------------------------------------------------------
     def _free_bytes_estimate(self) -> int:

@@ -84,6 +84,12 @@ class GcStats:
     evacuations_aborted: int = 0
     #: Collections forced by a dynamic line failure.
     dynamic_failure_collections: int = 0
+    #: Immix lines newly poisoned by a dynamic failure.
+    dynamic_failed_lines: int = 0
+    #: Dynamic failures that hit an already-failed Immix line (a second
+    #: 64 B PCM line inside the same larger Immix line); these carry no
+    #: live data and must not force another evacuation collection.
+    duplicate_dynamic_failures: int = 0
     #: Live bytes observed at each full collection (pause estimation).
     full_gc_live_bytes: List[int] = field(default_factory=list)
     #: Live bytes observed at each nursery collection.

@@ -41,3 +41,15 @@ class ProtocolError(ReproError):
 
 class PinnedObjectError(ReproError):
     """An operation tried to move a pinned object."""
+
+
+class HeapAuditError(ReproError):
+    """The cross-layer heap auditor found an invariant violation.
+
+    Raised by :mod:`repro.check` when two views of the same failure
+    state — hardware ECC-exhausted lines, OS failure-table bitmaps,
+    per-block Immix line marks, clustering redirection maps — disagree,
+    or when a heap-structure invariant (object overlap, live data on a
+    failed line, page-ownership conservation) is broken. The message
+    carries the rendered :class:`repro.check.audit.AuditReport`.
+    """

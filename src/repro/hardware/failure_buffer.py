@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, List, Optional
 
-from ..errors import FailureBufferOverflowError
+from ..errors import FailureBufferOverflowError, ProtocolError
 
 
 class InterruptKind(Enum):
@@ -126,6 +126,25 @@ class FailureBuffer:
         if removed and len(self._entries) < self.capacity - self.reserve:
             self._stalled = False
         return removed
+
+    def acknowledge(self, address: int) -> FailureEntry:
+        """Release the entry for ``address``; the strict form of :meth:`clear`.
+
+        The OS acknowledges a parked failure once its data is recovered.
+        Acknowledging a failure the buffer never received (or one already
+        released) is a cooperation-protocol violation — it means the OS's
+        view of outstanding failures has diverged from the hardware's —
+        and raises the :class:`~repro.errors.ProtocolError` documented in
+        :mod:`repro.errors` instead of silently succeeding.
+        """
+        entry = self._entries.get(address)
+        if entry is None:
+            raise ProtocolError(
+                f"acknowledging a failure the buffer never received "
+                f"(no entry at address {address:#x})"
+            )
+        self.clear(address)
+        return entry
 
     def drain(self) -> List[FailureEntry]:
         """Remove and return everything (OS bulk handling)."""

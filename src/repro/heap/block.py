@@ -30,6 +30,8 @@ class Block:
         "objects",
         "evacuate",
         "allocated_since_gc",
+        "mark_conflicts",
+        "aborted_evacuations",
     )
 
     def __init__(self, virtual_index: int, pages: List[HeapPage], geometry: Geometry) -> None:
@@ -48,6 +50,14 @@ class Block:
         #: True until the first sweep after allocation into this block;
         #: the sticky (generational) collector sweeps only these.
         self.allocated_since_gc = False
+        #: ``(oid, line)`` pairs recorded by the last sweep for live
+        #: objects found overlapping a FAILED line. The heap auditor
+        #: (:mod:`repro.check`) reports each as a violation.
+        self.mark_conflicts: List[Tuple[int, int]] = []
+        #: Object ids whose evacuation copy failed and were restored at
+        #: their old offset; they may legitimately overlap failed lines
+        #: (the auditor tolerates exactly these).
+        self.aborted_evacuations: Set[int] = set()
         for slot, page in enumerate(pages):
             for offset in page.failed_offsets:
                 self._seed_failed_pcm_line(slot, offset)
@@ -61,23 +71,33 @@ class Block:
     def n_lines(self) -> int:
         return self.geometry.immix_lines_per_block
 
-    def _seed_failed_pcm_line(self, page_slot: int, pcm_offset: int) -> int:
-        """Mark the Immix line poisoned by a failed PCM line; returns it."""
+    def _seed_failed_pcm_line(self, page_slot: int, pcm_offset: int) -> Tuple[int, bool]:
+        """Mark the Immix line poisoned by a failed PCM line.
+
+        Returns ``(immix_line, newly_failed)``: a second failed 64 B PCM
+        line landing in an already-poisoned (larger) Immix line is a
+        duplicate hit, not a new false failure.
+        """
         byte_offset = page_slot * self.geometry.page + pcm_offset * self.geometry.pcm_line
         immix_line = byte_offset // self.geometry.immix_line
+        newly_failed = immix_line not in self.failed_lines
         self.failed_lines.add(immix_line)
         self.line_states[immix_line] = FAILED
-        return immix_line
+        return immix_line, newly_failed
 
-    def record_dynamic_failure(self, page_slot: int, pcm_offset: int) -> int:
+    def record_dynamic_failure(self, page_slot: int, pcm_offset: int) -> Tuple[int, bool]:
         """A line failed while the block is live; poison and flag.
 
-        Returns the affected Immix line. The collector must evacuate any
-        objects overlapping it (paper section 4.2, dynamic failures).
+        Returns ``(immix_line, newly_failed)``. Only a *newly* failed
+        Immix line flags the block for evacuation — a duplicate hit
+        (another PCM line of an already-poisoned Immix line) carries no
+        live data to rescue, so forcing another evacuation collection
+        for it would only double-count the false failure.
         """
-        immix_line = self._seed_failed_pcm_line(page_slot, pcm_offset)
-        self.evacuate = True
-        return immix_line
+        immix_line, newly_failed = self._seed_failed_pcm_line(page_slot, pcm_offset)
+        if newly_failed:
+            self.evacuate = True
+        return immix_line, newly_failed
 
     # ------------------------------------------------------------------
     # Line accounting
@@ -124,6 +144,7 @@ class Block:
         for line in self.failed_lines:
             states[line] = FAILED
         survivors: List[SimObject] = []
+        conflicts: List[Tuple[int, int]] = []
         line_size = self.geometry.immix_line
         for obj in self.objects:
             if obj.mark != epoch and not (keep_old and obj.old):
@@ -131,8 +152,17 @@ class Block:
             survivors.append(obj)
             state = LIVE_PINNED if obj.pinned else LIVE
             for line in obj.line_span(line_size):
+                if states[line] == FAILED:
+                    # A FAILED mark is hardware truth; a survivor
+                    # overlapping it (pinned, or an aborted evacuation)
+                    # must never mask it as LIVE — that would let a
+                    # later sweep hand the failed line back to the
+                    # allocator. Record the conflict for the auditor.
+                    conflicts.append((obj.oid, line))
+                    continue
                 if states[line] != LIVE_PINNED:
                     states[line] = state
+        self.mark_conflicts = conflicts
         self.objects = survivors
         self.allocated_since_gc = False
         live_lines = line_table.count_state(states, LIVE) + line_table.count_state(

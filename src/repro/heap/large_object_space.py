@@ -11,7 +11,7 @@ benchmark — tolerates failures so well.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..errors import OutOfMemoryError
 from ..hardware.geometry import Geometry
@@ -85,12 +85,21 @@ class LargeObjectSpace:
         obj.los_placement = None
 
     # ------------------------------------------------------------------
-    def sweep(self, epoch: int, keep_old: bool = False) -> List[HeapPage]:
+    def sweep(
+        self,
+        epoch: int,
+        keep_old: bool = False,
+        on_free: Optional[Callable[[SimObject], None]] = None,
+    ) -> List[HeapPage]:
         """Free large objects not marked with ``epoch``.
 
         With ``keep_old`` (sticky nursery sweeps) objects whose sticky
-        bit is set survive unmarked. Returns the freed pages so the
-        caller can retire any bookkeeping keyed on them.
+        bit is set survive unmarked. ``on_free`` is called with each dead
+        object *before* its pages are released: releasing a perfect page
+        while DRAM debt is outstanding can transmute it into a live
+        borrowed placement under the same index, so per-index bookkeeping
+        must be retired before the release, not after. Returns the freed
+        pages for accounting.
         """
         dead = [
             obj
@@ -99,6 +108,8 @@ class LargeObjectSpace:
         ]
         freed: List[HeapPage] = []
         for obj in dead:
+            if on_free is not None:
+                on_free(obj)
             freed.extend(obj.los_placement.pages)
             self.free(obj)
         return freed

@@ -23,7 +23,7 @@ perfect pages it is later offered.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional
+from typing import Callable, FrozenSet, List, Optional
 
 from ..errors import OutOfMemoryError
 from ..faults.accounting import PerfectPageAccountant
@@ -108,6 +108,10 @@ class PageSupply:
         #: outstanding borrowed page; returned when the loan ends.
         self._parked: List[HeapPage] = []
         self._next_borrow_index = -1
+        #: Called with (old_index, new_index) when a borrowed page held
+        #: by a space user adopts a real page's identity (debt
+        #: repayment below); lets per-index side tables follow the page.
+        self.on_page_reindexed: Optional[Callable[[int, int], None]] = None
         # Statistics
         self.relaxed_pages_taken = 0
         self.fussy_pages_taken = 0
@@ -267,9 +271,12 @@ class PageSupply:
             return
         if page.is_perfect and self.accountant.debt > 0 and self._borrowed_held:
             held = self._borrowed_held.pop()
+            old_index = held.index
             held.index = page.index
             held.failed_offsets = page.failed_offsets
             held.borrowed = False
+            if self.on_page_reindexed is not None:
+                self.on_page_reindexed(old_index, held.index)
             self._unpark()
             if self.accountant.offer_perfect_to_relaxed():
                 raise AssertionError("accountant debt disagreed with borrowed_held")

@@ -138,11 +138,16 @@ class OsMemoryManager:
         """Drain pending failures: update tables, notify or relocate."""
         self._drain_rewrites_to_known_failures()
         events: List[FailureEvent] = []
-        original_addresses: List[int] = []
+        received_addresses: List[int] = []
         for reported, original in self.pcm.take_pending_failures():
             event = self._record_line_failure(reported)
             original_address = self.geometry.line_address(original)
-            original_addresses.append(original_address)
+            # The parked write lives under the *original* address (with
+            # clustering the reported boundary line never saw the write).
+            # Remember exactly which entries this drain received, so the
+            # acknowledgement below releases those and only those.
+            if original_address in self.pcm.failure_buffer:
+                received_addresses.append(original_address)
             data = self.pcm.failure_buffer.forward(original_address)
             events.append(
                 FailureEvent(event.page_index, event.line_offset, event.address, data)
@@ -160,13 +165,13 @@ class OsMemoryManager:
                 raise ProtocolError("failure on runtime page with no handler")
             self.upcalls += 1
             self._handler(runtime_events)
-        # The runtime has recovered the data; the OS clears the buffer
-        # entries so the hardware can reuse them. With clustering the
-        # parked write lives under the original address, not the
-        # reported boundary line, so both are cleared.
-        for event, original_address in zip(events, original_addresses):
-            self.pcm.failure_buffer.clear(event.address)
-            self.pcm.failure_buffer.clear(original_address)
+        # The runtime has recovered the data; the OS acknowledges the
+        # entries it received so the hardware can reuse the slots.
+        # Acknowledgement is strict: releasing an address the buffer
+        # never parked raises ProtocolError (the errors.py contract)
+        # rather than silently masking a hardware/OS divergence.
+        for address in received_addresses:
+            self.pcm.failure_buffer.acknowledge(address)
         return events
 
     def _drain_rewrites_to_known_failures(self) -> None:
@@ -186,7 +191,7 @@ class OsMemoryManager:
             if page_index < self.n_pcm_pages and (
                 self.failure_table.bitmap(page_index) >> offset & 1
             ):
-                self.pcm.failure_buffer.clear(entry.address)
+                self.pcm.failure_buffer.acknowledge(entry.address)
 
     def _relocate_page(self, event: FailureEvent) -> None:
         """Failure-unaware handling: copy the whole page to a perfect one.

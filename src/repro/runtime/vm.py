@@ -15,9 +15,11 @@
 
 from __future__ import annotations
 
+import os as _os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..check.audit import HeapAuditor, check_verify_level
 from ..collectors.immix import ImmixCollector, ImmixConfig
 from ..collectors.marksweep import MarkSweepCollector
 from ..collectors.stats import GcStats
@@ -53,6 +55,10 @@ class VmConfig:
     #: Discontiguous arrays: place large objects as arraylets in line
     #: space instead of on perfect LOS pages (paper section 3.3.3).
     arraylets: bool = False
+    #: Heap-auditor level (:data:`repro.check.VERIFY_LEVELS`); None
+    #: defers to the ``REPRO_VERIFY`` environment variable, defaulting
+    #: to "off".
+    verify: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.collector not in COLLECTORS:
@@ -88,10 +94,17 @@ class VirtualMachine:
         self._heap_pages = self._map_heap()
         self.supply = PageSupply(self._heap_pages, self.geometry)
         self.collector = self._build_collector()
+        self.auditor = HeapAuditor(self, level=self._verify_level())
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _verify_level(self) -> str:
+        level = self.config.verify
+        if level is None:
+            level = _os.environ.get("REPRO_VERIFY", "off")
+        return check_verify_level(level)
+
     def _raw_heap_bytes(self) -> int:
         rate = self.config.failure_model.rate
         if self.config.compensate and rate > 0.0:
@@ -167,6 +180,7 @@ class VirtualMachine:
                     )
         if self.config.wear_writes:
             self._write_object(obj)
+        self.auditor.after_alloc()
         return obj
 
     def add_root(self, obj: SimObject) -> None:
@@ -199,6 +213,7 @@ class VirtualMachine:
     def collect(self, force_full: bool = False) -> dict:
         result = self.collector.collect(self.roots(), force_full=force_full)
         self._replace_displaced()
+        self.auditor.after_gc()
         return result
 
     def _failure_collection(self) -> None:
@@ -240,6 +255,7 @@ class VirtualMachine:
                 needs_gc = False
         if needs_gc:
             self._pending_failure_gc = True
+        self.auditor.after_upcall()
 
     # ------------------------------------------------------------------
     # Physical writes (wear modelling)

@@ -84,7 +84,9 @@ def min_heap_bytes(config: RunConfig) -> int:
 
 
 def run_benchmark(
-    config: RunConfig, cost_model: CostModel = DEFAULT_COST_MODEL
+    config: RunConfig,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    verify: Optional[str] = None,
 ) -> RunResult:
     """Execute one benchmark invocation; never raises on heap exhaustion.
 
@@ -92,6 +94,12 @@ def run_benchmark(
     "some configurations cannot execute some of the benchmarks" — comes
     back with ``completed=False`` so aggregation can truncate curves the
     way the paper's figures do.
+
+    ``verify`` enables the cross-layer heap auditor at the given level
+    (see :data:`repro.check.VERIFY_LEVELS`); kept out of
+    :class:`RunConfig` so cached results stay comparable across
+    verification settings. Violations raise
+    :class:`~repro.errors.HeapAuditError`.
     """
     geometry = config.geometry()
     spec = config.spec()
@@ -105,12 +113,14 @@ def run_benchmark(
         compensate=config.compensate,
         arraylets=config.arraylets,
         seed=config.seed,
+        verify=verify,
     )
     vm = VirtualMachine(vm_config, cost_model=cost_model)
     completed = True
     note = ""
     try:
         TraceDriver(spec, config.seed).run(vm)
+        vm.auditor.final()
     except OutOfMemoryError as exc:
         completed = False
         note = str(exc)

@@ -260,6 +260,33 @@ class TestDynamicFailures:
         collector, _ = make_collector()
         assert not collector.note_dynamic_failure(99999, 0)
 
+    def test_los_sweep_keeps_directory_entry_of_transmuted_page(self):
+        # Only page 0 is perfect; every other page has a hole.
+        collector, factory = make_collector(
+            n_blocks=2,
+            failure_map={i: {0} for i in range(1, 2 * G.pages_per_block)},
+            large_threshold=2048,
+        )
+        dead = factory.make(3000)
+        assert collector.allocate(dead)  # takes perfect page 0
+        live = factory.make(3000)
+        assert collector.allocate(live, after_gc=True)  # no perfect left: borrows
+        borrowed_index = live.los_placement.pages[0].index
+        assert borrowed_index < 0
+        assert collector.page_directory[borrowed_index] == ("los", live)
+        # Sweeping the dead object releases perfect page 0 while debt is
+        # outstanding: the borrowed placement silently becomes page 0.
+        live.mark = 5
+        collector._sweep_los(epoch=5, keep_old=False)
+        page = live.los_placement.pages[0]
+        assert page.index == 0 and not page.borrowed
+        # The directory must follow the re-key — the dead object's late
+        # cleanup must not clobber the live holder's entry — so a
+        # dynamic failure on page 0 still reaches the live object.
+        assert collector.page_directory[0] == ("los", live)
+        assert not collector.note_dynamic_failure(0, 3)
+        assert live.moved_count == 1
+
 
 class TestPropertyBased:
     @settings(max_examples=20, deadline=None)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FailureBufferOverflowError
+from repro.errors import FailureBufferOverflowError, ProtocolError
 from repro.hardware.failure_buffer import FailureBuffer, InterruptKind
 
 
@@ -10,6 +10,35 @@ def make_buffer(capacity=8, reserve=2):
     interrupts = []
     buffer = FailureBuffer(capacity=capacity, reserve=reserve, interrupt=interrupts.append)
     return buffer, interrupts
+
+
+class TestAcknowledgeContract:
+    def test_acknowledge_releases_and_returns_entry(self):
+        buffer, _ = make_buffer()
+        buffer.insert(0x40, "payload")
+        entry = buffer.acknowledge(0x40)
+        assert entry.address == 0x40 and entry.data == "payload"
+        assert len(buffer) == 0
+
+    def test_acknowledge_unknown_address_is_protocol_error(self):
+        buffer, _ = make_buffer()
+        with pytest.raises(ProtocolError):
+            buffer.acknowledge(0x40)
+
+    def test_double_acknowledge_is_protocol_error(self):
+        buffer, _ = make_buffer()
+        buffer.insert(0x40, "payload")
+        buffer.acknowledge(0x40)
+        with pytest.raises(ProtocolError):
+            buffer.acknowledge(0x40)
+
+    def test_acknowledge_unstalls_like_clear(self):
+        buffer, interrupts = make_buffer(capacity=4, reserve=2)
+        buffer.insert(0x0, "a")
+        buffer.insert(0x40, "b")
+        assert not buffer.accepting_writes
+        buffer.acknowledge(0x0)
+        assert buffer.accepting_writes
 
 
 class TestInsertAndForward:

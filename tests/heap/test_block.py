@@ -100,6 +100,31 @@ class TestPlacementAndSweep:
         block.rebuild_line_marks(epoch=1)
         assert block.line_states[0] == LIVE_PINNED
 
+    def test_sweep_never_masks_failed_lines(self):
+        # A surviving object overlapping a FAILED line (pinned, or an
+        # aborted evacuation) must not overwrite the mark with LIVE: a
+        # later sweep would hand the failed line back to the allocator.
+        block = Block(0, make_pages({0: {0}}), G)  # Immix line 0 failed
+        obj = SimObject(0, 300, pinned=True)  # spans lines 0-1
+        block.place(obj, 0)
+        obj.mark = 1
+        block.rebuild_line_marks(epoch=1)
+        assert block.line_states[0] == FAILED
+        assert block.line_states[1] == LIVE_PINNED
+        assert (obj.oid, 0) in block.mark_conflicts
+
+    def test_sweep_resets_stale_conflicts(self):
+        block = Block(0, make_pages({0: {0}}), G)
+        obj = SimObject(0, 64, pinned=True)
+        block.place(obj, 0)
+        obj.mark = 1
+        block.rebuild_line_marks(epoch=1)
+        assert block.mark_conflicts == [(obj.oid, 0)]
+        # The object dies; the next sweep clears the recorded conflict.
+        block.rebuild_line_marks(epoch=2)
+        assert block.mark_conflicts == []
+        assert block.line_states[0] == FAILED
+
     def test_objects_overlapping_line(self):
         block = Block(0, make_pages(), G)
         a = SimObject(0, 300)
@@ -111,10 +136,24 @@ class TestPlacementAndSweep:
 class TestDynamicFailure:
     def test_dynamic_failure_flags_evacuation(self):
         block = Block(0, make_pages(), G)
-        line = block.record_dynamic_failure(page_slot=1, pcm_offset=4)
+        line, newly_failed = block.record_dynamic_failure(page_slot=1, pcm_offset=4)
         # Page 1 starts at Immix line 16; offset 4 -> line 17.
         assert line == 17
+        assert newly_failed
         assert block.evacuate
+        assert block.line_states[17] == FAILED
+
+    def test_duplicate_pcm_failure_is_not_new(self):
+        # PCM offsets 4 and 5 of page 1 both poison Immix line 17
+        # (4 PCM lines per 256 B Immix line): the second hit is a
+        # duplicate and must not re-flag the block for evacuation.
+        block = Block(0, make_pages(), G)
+        line1, new1 = block.record_dynamic_failure(page_slot=1, pcm_offset=4)
+        assert (line1, new1) == (17, True)
+        block.evacuate = False  # as if the forced collection already ran
+        line2, new2 = block.record_dynamic_failure(page_slot=1, pcm_offset=5)
+        assert (line2, new2) == (17, False)
+        assert not block.evacuate
         assert block.line_states[17] == FAILED
 
     def test_page_slot_of_line(self):

@@ -1,0 +1,14 @@
+"""Integration tests run with the cross-layer heap auditor at maximum.
+
+Every VM built in this directory inherits ``REPRO_VERIFY=paranoid``
+(unless a test passes an explicit ``verify=`` level), so each existing
+end-to-end scenario doubles as an auditor soak test: any hardware/OS/
+runtime state divergence raises HeapAuditError in place.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def paranoid_heap_auditing(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "paranoid")
