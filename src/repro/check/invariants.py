@@ -592,6 +592,39 @@ def check_space_accounting(vm, violations: List[Violation], trigger: str) -> Non
         )
 
 
+def check_time_breakdown(vm, violations: List[Violation], trigger: str) -> None:
+    """Traced phase totals telescope to the cost model's total time.
+
+    The tracer charges every simulated-clock delta to exactly one
+    phase, so the per-phase totals must sum to
+    ``cost_model.total_time(stats)`` — the same value
+    ``RunResult.time_units`` reports. A gap means a cost path ran
+    outside phase accounting (or was double-counted); no-ops when the
+    VM is untraced.
+    """
+    tracer = getattr(vm, "tracer", None)
+    if tracer is None:
+        return
+    total = vm.cost_model.total_time(vm.stats)
+    breakdown = tracer.phase_breakdown()
+    summed = sum(breakdown.values())
+    # Bucket-accumulation rounding only; thousands of phase switches
+    # stay within a few ulps, so 1e-9 relative is generous headroom.
+    tolerance = 1e-9 * max(1.0, abs(total))
+    if abs(summed - total) > tolerance:
+        violations.append(
+            Violation(
+                invariant="time-breakdown",
+                layer="runtime",
+                message="per-phase time breakdown does not sum to the "
+                "cost model's total simulated time",
+                expected=f"sum == total_time {total!r}",
+                actual=f"sum {summed!r} over phases "
+                f"{sorted(breakdown)} (delta {summed - total!r})",
+            )
+        )
+
+
 #: The full checker suite, in layer order (hardware outward).
 ALL_CHECKERS = (
     check_redirection_maps,
@@ -602,6 +635,7 @@ ALL_CHECKERS = (
     check_object_placement,
     check_page_conservation,
     check_space_accounting,
+    check_time_breakdown,
 )
 
 

@@ -5,6 +5,7 @@ Commands
 ``figures``    regenerate one or more of the paper's figures
 ``sweep``      run a (workload x rate x heap) grid, in parallel
 ``bench``      run one workload at one configuration and dump counters
+``trace``      record a Chrome trace of one (wearing) run
 ``check``      run a randomized fault-injection audit campaign
 ``lifetime``   age a PCM module under a wear-management strategy
 ``workloads``  list the synthetic DaCapo-style workloads
@@ -16,6 +17,14 @@ free). ``sweep`` additionally writes a ``BENCH_sweep.json`` artifact
 with per-cell wall times, cache hit/miss counts, and worker
 utilization.
 
+Output streams follow one convention (see :mod:`repro.obs.log`):
+stdout carries primary output — human reports (suppressed by ``-q``)
+and machine-readable JSON (never suppressed) — while stderr carries
+narration. ``figures``, ``sweep`` and ``bench`` accept ``--trace`` and
+``--metrics-out`` to record Chrome traces / Prometheus metrics of the
+runs they execute; ``trace`` is the dedicated single-run recorder and
+defaults to a *wearing* module so the hardware failure path is hot.
+
 Examples::
 
     python -m repro workloads
@@ -23,6 +32,7 @@ Examples::
     python -m repro figures all --jobs 4 --cache-dir .repro-cache
     python -m repro sweep --workloads pmd xalan --rates 0 0.1 0.5 --jobs 4
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
+    python -m repro trace --workload luindex --scale 0.1 --out trace.json
     python -m repro check --seed 0
     python -m repro lifetime --strategy retire --iterations 10
 """
@@ -31,15 +41,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from dataclasses import replace
 from typing import List, Optional
 
 from .check.audit import VERIFY_LEVELS
 from .faults.generator import FailureModel
+from .obs import log as obslog
+from .obs.metrics import MetricsRegistry
+from .obs.trace import DEFAULT_CAPACITY, Tracer
 from .sim.cache import ResultCache
 from .sim.experiment import ExperimentRunner
-from .sim.machine import RunConfig, run_benchmark
+from .sim.machine import RunConfig, run_benchmark, run_wearing_benchmark
 from .sim.parallel import run_grid
 from .workloads.dacapo import DACAPO
 
@@ -72,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Failure-aware managed runtimes for wearable memories "
         "(PLDI 2013 reproduction)",
     )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress human reports and narration (JSON output and "
+        "warnings still print)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="debug narration on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
@@ -88,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_execution_arguments(figures)
+    _add_observability_arguments(figures, directory=True)
     figures.add_argument(
         "--sweep-json",
         metavar="PATH",
@@ -117,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep artifact path (default: %(default)s)",
     )
     _add_execution_arguments(sweep)
+    _add_observability_arguments(sweep, directory=True)
 
     bench = sub.add_parser("bench", help="run one workload configuration")
     bench.add_argument("workload")
@@ -144,6 +175,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LEVEL",
         help="cross-layer heap auditing: off, gc, upcall, or paranoid "
         "(default: the REPRO_VERIFY environment variable, else off)",
+    )
+    _add_observability_arguments(bench, directory=False)
+
+    trace = sub.add_parser(
+        "trace", help="record a Chrome trace (Perfetto-loadable) of one run"
+    )
+    trace.add_argument("--workload", required=True)
+    trace.add_argument("--heap", type=float, default=2.0, metavar="MULTIPLIER")
+    trace.add_argument("--rate", type=float, default=0.0)
+    trace.add_argument("--clustering", type=int, default=2, metavar="PAGES")
+    trace.add_argument("--line", type=int, default=256, choices=[64, 128, 256])
+    trace.add_argument(
+        "--collector",
+        default="sticky-immix",
+        choices=["immix", "sticky-immix", "marksweep", "sticky-marksweep"],
+    )
+    trace.add_argument("--scale", type=float, default=0.35)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--wear",
+        type=float,
+        default=25.0,
+        metavar="WRITES",
+        help="mean line endurance in writes; the run wears the module so "
+        "dynamic failures arrive mid-run (0 = aged module, static "
+        "failures only; default: %(default)s)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.json",
+        help="Chrome trace_event JSON output (default: %(default)s)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write raw events as JSON Lines to PATH",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text-format metrics to PATH",
+    )
+    trace.add_argument(
+        "--buffer",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        metavar="EVENTS",
+        help="trace ring-buffer capacity (default: %(default)s)",
     )
 
     check = sub.add_parser(
@@ -199,21 +281,92 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(
+    parser: argparse.ArgumentParser, directory: bool
+) -> None:
+    """Shared ``--trace``/``--metrics-out`` knobs.
+
+    Grid commands take a directory (one Chrome trace per cell); bench
+    takes a single output file.
+    """
+    if directory:
+        parser.add_argument(
+            "--trace",
+            metavar="DIR",
+            default=None,
+            help="record a Chrome trace per executed cell into DIR "
+            "(forces serial, uncached execution)",
+        )
+    else:
+        parser.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="record a Chrome trace of the measured run to PATH",
+        )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text-format metrics to PATH",
+    )
+
+
 def _build_cache(args) -> Optional[ResultCache]:
     if args.no_cache or not args.cache_dir:
         return None
     return ResultCache(args.cache_dir)
 
 
+def _trace_slug(config: RunConfig) -> str:
+    """Filesystem-safe cell identifier for per-cell trace files."""
+    rate = f"{config.failure_model.rate:g}".replace(".", "p")
+    heap = f"{config.heap_multiplier:g}".replace(".", "p")
+    return (
+        f"{config.workload}_r{rate}_h{heap}_L{config.immix_line}_"
+        f"{config.collector}_s{config.seed}"
+    )
+
+
+def _trace_metadata(config: RunConfig, result=None) -> dict:
+    meta = {
+        "workload": config.workload,
+        "collector": config.collector,
+        "rate": config.failure_model.rate,
+        "heap_multiplier": config.heap_multiplier,
+        "immix_line": config.immix_line,
+        "seed": config.seed,
+        "scale": config.scale,
+    }
+    if result is not None:
+        meta["completed"] = result.completed
+        meta["time_units"] = result.time_units
+        meta["dynamic_failed_lines"] = result.stats.get("dynamic_failed_lines", 0)
+    return meta
+
+
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.render_prometheus())
+    obslog.info(f"metrics: {path}")
+
+
+def _render_phase_breakdown(breakdown: dict, total: float) -> List[str]:
+    lines = ["phase breakdown (simulated time units)"]
+    for phase, units in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = units / total if total else 0.0
+        lines.append(f"  {phase:16s} {units:16.0f} {share:7.1%}")
+    return lines
+
+
 def _write_sweep_artifact(path: str, stats_dict: dict) -> None:
     with open(path, "w") as handle:
         json.dump(stats_dict, handle, indent=2)
     cache = stats_dict.get("cache", {})
-    print(
+    obslog.info(
         f"sweep artifact: {path} ({stats_dict['cells']} cells, "
         f"{cache.get('hits', 0)} cache hits, {cache.get('misses', 0)} misses, "
-        f"utilization {stats_dict['utilization']:.0%})",
-        file=sys.stderr,
+        f"utilization {stats_dict['utilization']:.0%})"
     )
 
 
@@ -224,13 +377,45 @@ def cmd_figures(args) -> int:
         names = list(_FIGURES)
     unknown = [n for n in names if n not in _FIGURES]
     if unknown:
-        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(_FIGURES)}", file=sys.stderr)
+        obslog.warn(f"unknown figures: {', '.join(unknown)}")
+        obslog.warn(f"available: {', '.join(_FIGURES)}")
         return 2
-    progress = (lambda m: print("  ..", m, file=sys.stderr)) if args.progress else None
+    progress = (lambda m: obslog.info(f"  .. {m}")) if args.progress else None
     cache = _build_cache(args)
+    jobs = args.jobs
+    registry = None
+    tracer_factory = None
+    trace_sink = None
+    if args.trace or args.metrics_out:
+        registry = MetricsRegistry()
+    if args.trace:
+        # Tracers survive neither worker processes nor the disk cache:
+        # a traced figure run is serial and pays for every cell.
+        if jobs != 1:
+            obslog.warn("--trace forces serial execution; ignoring --jobs")
+            jobs = 1
+        if cache is not None:
+            obslog.warn("--trace disables the result cache for this run")
+            cache = None
+        os.makedirs(args.trace, exist_ok=True)
+
+        def tracer_factory(config):
+            return Tracer(metrics=registry)
+
+        def trace_sink(config, tracer):
+            from .obs.export import write_chrome_trace
+
+            path = os.path.join(args.trace, _trace_slug(config) + ".trace.json")
+            write_chrome_trace(tracer, path, metadata=_trace_metadata(config))
+            obslog.debug(f"trace: {path}")
+
     runner = ExperimentRunner(
-        seeds=tuple(args.seeds), progress=progress, cache=cache, jobs=args.jobs
+        seeds=tuple(args.seeds),
+        progress=progress,
+        cache=cache,
+        jobs=jobs,
+        tracer_factory=tracer_factory,
+        trace_sink=trace_sink,
     )
     if args.json:
         payload = {
@@ -241,21 +426,22 @@ def cmd_figures(args) -> int:
     else:
         for name in names:
             for result in _FIGURES[name](runner, args.scale):
-                print(result.render())
-                print()
+                obslog.out(result.render())
+                obslog.out()
     if cache is not None:
         counters = cache.counters()
-        print(
+        obslog.info(
             f"cache: {counters['hits']} hits, {counters['misses']} misses, "
-            f"{counters['stores']} stores ({args.cache_dir})",
-            file=sys.stderr,
+            f"{counters['stores']} stores ({args.cache_dir})"
         )
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     if args.sweep_json:
         summary = runner.sweep_summary()
         if summary is None:
             from .sim.parallel import SweepStats
 
-            summary = SweepStats(jobs=max(1, args.jobs))
+            summary = SweepStats(jobs=max(1, jobs))
         payload = summary.to_dict()
         if cache is not None:
             # The runner's lazy path also consults the cache directly;
@@ -272,8 +458,8 @@ def cmd_sweep(args) -> int:
     names = args.workloads or [spec.name for spec in analysis_suite()]
     unknown = [name for name in names if name not in available]
     if unknown:
-        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(available)}", file=sys.stderr)
+        obslog.warn(f"unknown workloads: {', '.join(unknown)}")
+        obslog.warn(f"available: {', '.join(available)}")
         return 2
     grid = [
         RunConfig(
@@ -289,19 +475,71 @@ def cmd_sweep(args) -> int:
         for heap in args.heaps
         for seed in args.seeds
     ]
-    cache = _build_cache(args)
-    results, stats = run_grid(grid, jobs=args.jobs, cache=cache)
-    print(f"{'workload':13s} {'rate':>5s} {'heap':>5s} {'seed':>4s} "
-          f"{'status':>7s} {'time(ms)':>10s}")
+    if args.trace:
+        results, stats = _run_traced_sweep(args, grid)
+    else:
+        cache = _build_cache(args)
+        results, stats = run_grid(grid, jobs=args.jobs, cache=cache)
+        if args.metrics_out:
+            obslog.warn("--metrics-out needs --trace on sweep; nothing written")
+    obslog.out(f"{'workload':13s} {'rate':>5s} {'heap':>5s} {'seed':>4s} "
+               f"{'status':>7s} {'time(ms)':>10s}")
     for result in results:
         config = result.config
         status = "ok" if result.completed else "DNF"
         time_ms = f"{result.time_ms:10.1f}" if result.completed else f"{'-':>10s}"
-        print(f"{config.workload:13s} {config.failure_model.rate:5.0%} "
-              f"{config.heap_multiplier:5.2g} {config.seed:4d} "
-              f"{status:>7s} {time_ms}")
+        obslog.out(f"{config.workload:13s} {config.failure_model.rate:5.0%} "
+                   f"{config.heap_multiplier:5.2g} {config.seed:4d} "
+                   f"{status:>7s} {time_ms}")
     _write_sweep_artifact(args.out, stats.to_dict())
     return 0
+
+
+def _run_traced_sweep(args, grid: List[RunConfig]):
+    """Serial sweep with one tracer per cell and a shared registry.
+
+    Worker processes and the disk cache cannot carry trace events, so
+    the traced path runs every cell inline; the SweepStats record is
+    assembled by hand to keep the BENCH_sweep.json artifact identical
+    in shape to the pooled path.
+    """
+    from .obs.export import write_chrome_trace
+    from .sim.parallel import CellTiming, SweepStats, _describe
+
+    if args.jobs not in (0, 1):
+        obslog.warn("--trace runs the sweep serially; ignoring --jobs")
+    if args.cache_dir and not args.no_cache:
+        obslog.warn("--trace disables the result cache for this run")
+    os.makedirs(args.trace, exist_ok=True)
+    registry = MetricsRegistry()
+    stats = SweepStats(jobs=1, cells=len(grid))
+    results = []
+    started = time.perf_counter()
+    for index, config in enumerate(grid):
+        tracer = Tracer(metrics=registry)
+        cell_start = time.perf_counter()
+        result = run_benchmark(config, tracer=tracer)
+        wall = time.perf_counter() - cell_start
+        stats.busy_s += wall
+        stats.timings.append(
+            CellTiming(
+                index=index,
+                workload=config.workload,
+                description=_describe(config),
+                wall_s=wall,
+                cached=False,
+                completed=result.completed,
+            )
+        )
+        path = os.path.join(args.trace, _trace_slug(config) + ".trace.json")
+        write_chrome_trace(tracer, path, metadata=_trace_metadata(config, result))
+        obslog.debug(f"trace: {path}")
+        results.append(result)
+    stats.wall_s = time.perf_counter() - started
+    obslog.info(f"traces: {len(grid)} cell(s) in {args.trace}")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return results, stats
 
 
 def cmd_bench(args) -> int:
@@ -316,26 +554,104 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         scale=args.scale,
     )
-    result = run_benchmark(config, verify=args.verify_heap)
+    registry = None
+    tracer = None
+    if args.trace or args.metrics_out:
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+    result = run_benchmark(config, verify=args.verify_heap, tracer=tracer)
+    # The baseline exists only for the slowdown ratio; it is never
+    # traced, so the trace holds exactly the measured run's events.
     baseline = run_benchmark(
         replace(config, failure_model=FailureModel(), compensate=True)
     )
-    print(f"workload      {args.workload}")
-    print(f"configuration {config.failure_model.describe()}, "
-          f"L{args.line}, {args.collector}, heap {args.heap:g}x min")
-    print(f"status        {'completed' if result.completed else 'DNF: ' + result.failure_note}")
+    obslog.out(f"workload      {args.workload}")
+    obslog.out(f"configuration {config.failure_model.describe()}, "
+               f"L{args.line}, {args.collector}, heap {args.heap:g}x min")
+    obslog.out(f"status        {'completed' if result.completed else 'DNF: ' + result.failure_note}")
     if result.completed:
-        print(f"time          {result.time_ms:.1f} simulated ms "
-              f"({result.time_units / baseline.time_units:.3f}x the no-failure run)")
+        obslog.out(f"time          {result.time_ms:.1f} simulated ms "
+                   f"({result.time_units / baseline.time_units:.3f}x the no-failure run)")
     interesting = (
         "collections", "full_collections", "run_advances", "block_requests",
         "overflow_allocs", "perfect_block_requests", "objects_copied",
     )
     for key in interesting:
-        print(f"  {key:24s} {result.stats[key]}")
-    print(f"  {'perfect_page_demand':24s} {result.perfect_page_demand}")
-    print(f"  {'borrowed_pages':24s} {result.borrowed_pages}")
+        obslog.out(f"  {key:24s} {result.stats[key]}")
+    obslog.out(f"  {'perfect_page_demand':24s} {result.perfect_page_demand}")
+    obslog.out(f"  {'borrowed_pages':24s} {result.borrowed_pages}")
+    if result.phase_breakdown:
+        for line in _render_phase_breakdown(
+            result.phase_breakdown, result.time_units
+        ):
+            obslog.out(line)
+    if args.trace:
+        from .obs.export import validate_chrome_trace, write_chrome_trace
+
+        payload = write_chrome_trace(
+            tracer, args.trace, metadata=_trace_metadata(config, result)
+        )
+        for problem in validate_chrome_trace(payload):
+            obslog.warn(f"trace: {problem}")
+        obslog.info(
+            f"trace: {args.trace} ({tracer.recorded} events, "
+            f"{tracer.dropped} dropped)"
+        )
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     return 0 if result.completed else 1
+
+
+def cmd_trace(args) -> int:
+    from .obs.export import validate_chrome_trace, write_chrome_trace, write_jsonl
+
+    available = [spec.name for spec in DACAPO]
+    if args.workload not in available:
+        obslog.warn(f"unknown workload: {args.workload}")
+        obslog.warn(f"available: {', '.join(available)}")
+        return 2
+    registry = MetricsRegistry()
+    tracer = Tracer(capacity=args.buffer, metrics=registry)
+    config = RunConfig(
+        workload=args.workload,
+        heap_multiplier=args.heap,
+        collector=args.collector,
+        failure_model=FailureModel(rate=args.rate, hw_region_pages=args.clustering),
+        immix_line=args.line,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    if args.wear > 0:
+        result = run_wearing_benchmark(config, mean_writes=args.wear, tracer=tracer)
+    else:
+        result = run_benchmark(config, tracer=tracer)
+    metadata = _trace_metadata(config, result)
+    metadata["wear_mean_writes"] = args.wear
+    payload = write_chrome_trace(tracer, args.out, metadata=metadata)
+    problems = validate_chrome_trace(payload)
+    for problem in problems:
+        obslog.warn(f"trace: {problem}")
+    if args.jsonl:
+        count = write_jsonl(tracer, args.jsonl)
+        obslog.info(f"jsonl: {args.jsonl} ({count} events)")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+
+    categories = sorted({event.cat for event in tracer.events()})
+    status = "completed" if result.completed else f"DNF: {result.failure_note}"
+    obslog.out(f"workload      {args.workload} ({status})")
+    obslog.out(f"trace         {args.out} ({tracer.recorded} events recorded, "
+               f"{tracer.dropped} dropped, layers: {', '.join(categories)})")
+    obslog.out(f"collections   {result.stats['collections']} "
+               f"({result.stats['dynamic_failure_collections']} failure-forced, "
+               f"{result.stats['dynamic_failed_lines']} lines failed dynamically)")
+    if result.phase_breakdown:
+        for line in _render_phase_breakdown(
+            result.phase_breakdown, result.time_units
+        ):
+            obslog.out(line)
+    obslog.info("open in Perfetto: https://ui.perfetto.dev -> Open trace file")
+    return 0 if result.completed and not problems else 1
 
 
 def cmd_check(args) -> int:
@@ -346,8 +662,8 @@ def cmd_check(args) -> int:
         available = [spec.name for spec in DACAPO]
         unknown = [name for name in args.workloads if name not in available]
         if unknown:
-            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
-            print(f"available: {', '.join(available)}", file=sys.stderr)
+            obslog.warn(f"unknown workloads: {', '.join(unknown)}")
+            obslog.warn(f"available: {', '.join(available)}")
             return 2
     result = run_campaign(
         seed=args.seed,
@@ -355,7 +671,7 @@ def cmd_check(args) -> int:
         scale=args.scale,
         level=args.level,
     )
-    print(result.render())
+    obslog.out(result.render())
     return 0 if result.ok else 1
 
 
@@ -390,28 +706,30 @@ def cmd_lifetime(args) -> int:
             max_iterations=args.iterations,
             endurance_mean_writes=args.endurance,
         )
-    print(result.describe())
+    obslog.out(result.describe())
     for record in result.records:
         bar = "#" * int(50 * record.failed_fraction)
         status = "ok " if record.completed else "DNF"
-        print(f"  iter {record.iteration:2d} {status} "
-              f"{record.failed_fraction:6.1%} {bar}")
+        obslog.out(f"  iter {record.iteration:2d} {status} "
+                   f"{record.failed_fraction:6.1%} {bar}")
     return 0
 
 
 def cmd_workloads(_args) -> int:
     for spec in DACAPO:
-        print(f"{spec.name:13s} {spec.describe()}")
-        print(f"{'':13s} {spec.description}")
+        obslog.out(f"{spec.name:13s} {spec.describe()}")
+        obslog.out(f"{'':13s} {spec.description}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obslog.setup(-1 if args.quiet else args.verbose)
     handlers = {
         "figures": cmd_figures,
         "sweep": cmd_sweep,
         "bench": cmd_bench,
+        "trace": cmd_trace,
         "check": cmd_check,
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,

@@ -30,8 +30,12 @@ from ..heap.block import Block
 from ..heap.large_object_space import LargeObjectSpace
 from ..heap.object_model import SimObject, reachable_from
 from ..heap.page_supply import PageSupply
+from ..obs.trace import maybe_span
 from ..units import KiB
 from .stats import GcStats
+
+#: Free-run-length histogram buckets, in lines (blocks have <= 128).
+FREE_RUN_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -153,6 +157,18 @@ class ImmixCollector:
         #: Object factory for arraylet chunks (set by the VM when the
         #: arraylets feature is enabled).
         self.factory = factory
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
+
+    def _trace_block_acquired(self, kind: str) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("immix.block_acquired", args={"kind": kind})
+            tr.metrics.counter(
+                "repro_immix_blocks_acquired_total",
+                "block acquisitions by source",
+                kind=kind,
+            ).inc()
 
     # ==================================================================
     # Allocation
@@ -270,6 +286,7 @@ class ImmixCollector:
             block = self._recycled.popleft()
             if block.free_line_count() > 0:
                 self.stats.block_requests += 1
+                self._trace_block_acquired("recycled")
                 return block
         return self._new_block()
 
@@ -283,6 +300,7 @@ class ImmixCollector:
         for slot, page in enumerate(pages):
             self.page_directory[page.index] = ("block", block, slot)
         self.stats.block_requests += 1
+        self._trace_block_acquired("free")
         return block
 
     # ------------------------------------------------------------------
@@ -394,6 +412,7 @@ class ImmixCollector:
             pages = self.supply.fussy_pages(self.geometry.pages_per_block)
         except OutOfMemoryError:
             return False
+        self._trace_block_acquired("perfect")
         block = Block(self._next_block_index, pages, self.geometry)
         self._next_block_index += 1
         self.blocks.append(block)
@@ -434,75 +453,91 @@ class ImmixCollector:
 
     # ------------------------------------------------------------------
     def collect_full(self, roots: Sequence[SimObject]) -> dict:
-        self.stats.collections += 1
-        self.stats.full_collections += 1
-        self._nursery_since_full = 0
-        self._epoch += 1
-        epoch = self._epoch
-        free_before = self._free_bytes_estimate()
-        live = reachable_from(roots, epoch)
-        live_bytes = sum(obj.size for obj in live)
-        self.stats.objects_traced += len(live)
-        self.stats.bytes_traced += live_bytes
-        self.stats.full_gc_live_bytes.append(live_bytes)
-        for obj in live:
-            obj.old = True
-        self._sweep_blocks(epoch, keep_old=False)
-        self._sweep_los(epoch, keep_old=False)
-        self._rebuild_allocation_state(exclude_evacuating=True)
-        self._evacuate_flagged(epoch)
-        # Evacuation bump-placed survivors into swept blocks whose line
-        # marks do not show them yet; refresh those marks before the
-        # final allocation-state rebuild or the mutator would overlap
-        # the copies.
-        for block in self.blocks:
-            if block.allocated_since_gc:
-                block.rebuild_line_marks(epoch, keep_old=True)
-        self._rebuild_allocation_state(exclude_evacuating=False)
-        self._young = []
-        self._remset.clear()
-        return {
-            "kind": "full",
-            "live_bytes": live_bytes,
-            "live_objects": len(live),
-            "reclaimed_bytes": max(0, self._free_bytes_estimate() - free_before),
-        }
+        tr = self.tracer
+        with maybe_span(tr, "gc.full", phase="gc.other"):
+            self.stats.collections += 1
+            self.stats.full_collections += 1
+            self._nursery_since_full = 0
+            self._epoch += 1
+            epoch = self._epoch
+            free_before = self._free_bytes_estimate()
+            with maybe_span(tr, "gc.mark", phase="gc.mark"):
+                live = reachable_from(roots, epoch)
+                live_bytes = sum(obj.size for obj in live)
+                self.stats.objects_traced += len(live)
+                self.stats.bytes_traced += live_bytes
+                self.stats.full_gc_live_bytes.append(live_bytes)
+                for obj in live:
+                    obj.old = True
+            with maybe_span(tr, "gc.sweep", phase="gc.sweep"):
+                self._sweep_blocks(epoch, keep_old=False)
+                self._sweep_los(epoch, keep_old=False)
+            self._rebuild_allocation_state(exclude_evacuating=True)
+            with maybe_span(tr, "gc.evacuate", phase="gc.evacuate"):
+                self._evacuate_flagged(epoch)
+                # Evacuation bump-placed survivors into swept blocks whose
+                # line marks do not show them yet; refresh those marks
+                # before the final allocation-state rebuild or the mutator
+                # would overlap the copies.
+                for block in self.blocks:
+                    if block.allocated_since_gc:
+                        block.rebuild_line_marks(epoch, keep_old=True)
+            self._rebuild_allocation_state(exclude_evacuating=False)
+            if tr is not None:
+                self._observe_free_runs(tr)
+            self._young = []
+            self._remset.clear()
+            return {
+                "kind": "full",
+                "live_bytes": live_bytes,
+                "live_objects": len(live),
+                "reclaimed_bytes": max(0, self._free_bytes_estimate() - free_before),
+            }
 
     def collect_nursery(self, roots: Sequence[SimObject]) -> dict:
-        self.stats.collections += 1
-        self.stats.nursery_collections += 1
-        self._nursery_since_full += 1
-        self._epoch += 1
-        epoch = self._epoch
-        free_before = self._free_bytes_estimate()
-        live_young = self._trace_young(roots, epoch)
-        live_bytes = sum(obj.size for obj in live_young)
-        self.stats.objects_traced += len(live_young)
-        self.stats.bytes_traced += live_bytes
-        self.stats.nursery_live_bytes.append(live_bytes)
-        # Sweep only blocks allocated into since the last collection.
-        for block in [b for b in self.blocks if b.allocated_since_gc]:
-            live_lines, scanned = block.rebuild_line_marks(epoch, keep_old=True)
-            self.stats.lines_swept += scanned
-            self.stats.lines_marked += live_lines
-            self.stats.blocks_swept += 1
-            if not block.objects:
-                self._release_block(block)
-        self._sweep_los(epoch, keep_old=True)
-        survivors = [obj for obj in self._young if obj.mark == epoch]
-        for obj in survivors:
-            obj.old = True
-        self._rebuild_allocation_state(exclude_evacuating=True)
-        if self.config.copy_nursery_survivors:
-            self._copy_survivors(survivors, epoch)
-        self._young = []
-        self._remset.clear()
-        return {
-            "kind": "nursery",
-            "live_bytes": live_bytes,
-            "live_objects": len(live_young),
-            "reclaimed_bytes": max(0, self._free_bytes_estimate() - free_before),
-        }
+        tr = self.tracer
+        with maybe_span(tr, "gc.nursery", phase="gc.other"):
+            self.stats.collections += 1
+            self.stats.nursery_collections += 1
+            self._nursery_since_full += 1
+            self._epoch += 1
+            epoch = self._epoch
+            free_before = self._free_bytes_estimate()
+            with maybe_span(tr, "gc.mark", phase="gc.mark"):
+                live_young = self._trace_young(roots, epoch)
+                live_bytes = sum(obj.size for obj in live_young)
+                self.stats.objects_traced += len(live_young)
+                self.stats.bytes_traced += live_bytes
+                self.stats.nursery_live_bytes.append(live_bytes)
+            with maybe_span(tr, "gc.sweep", phase="gc.sweep"):
+                # Sweep only blocks allocated into since the last collection.
+                for block in [b for b in self.blocks if b.allocated_since_gc]:
+                    live_lines, scanned = block.rebuild_line_marks(
+                        epoch, keep_old=True
+                    )
+                    self.stats.lines_swept += scanned
+                    self.stats.lines_marked += live_lines
+                    self.stats.blocks_swept += 1
+                    if not block.objects:
+                        self._release_block(block)
+                self._sweep_los(epoch, keep_old=True)
+            survivors = [obj for obj in self._young if obj.mark == epoch]
+            for obj in survivors:
+                obj.old = True
+            self._rebuild_allocation_state(exclude_evacuating=True)
+            if self.config.copy_nursery_survivors:
+                with maybe_span(tr, "gc.copy", phase="gc.copy"):
+                    self._copy_survivors(survivors, epoch)
+            if tr is not None:
+                self._observe_free_runs(tr)
+            self._young = []
+            self._remset.clear()
+            return {
+                "kind": "nursery",
+                "live_bytes": live_bytes,
+                "live_objects": len(live_young),
+                "reclaimed_bytes": max(0, self._free_bytes_estimate() - free_before),
+            }
 
     def _trace_young(self, roots: Sequence[SimObject], epoch: int) -> List[SimObject]:
         """Transitive closure over young objects only.
@@ -581,6 +616,23 @@ class ImmixCollector:
             self._recycled.remove(block)
         except ValueError:
             pass
+
+    def _observe_free_runs(self, tr) -> None:
+        """Record the post-GC free-run-length distribution (tracing only).
+
+        The run-length histogram is the paper's fragmentation lens: as
+        lines fail, contiguous free runs shorten and bump allocation
+        degrades. Sampled once per collection, after the final
+        allocation-state rebuild.
+        """
+        histogram = tr.metrics.histogram(
+            "repro_free_run_length_lines",
+            "length in lines of free runs available after GC",
+            buckets=FREE_RUN_BUCKETS,
+        )
+        for block in self._recycled:
+            for _start, length in block.free_runs():
+                histogram.observe(length)
 
     def _rebuild_allocation_state(self, exclude_evacuating: bool) -> None:
         candidates = [
@@ -671,6 +723,21 @@ class ImmixCollector:
         entry = self.page_directory.get(page_index)
         if entry is None:
             return False
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "immix.dynamic_failure",
+                args={
+                    "page": page_index,
+                    "pcm_offset": pcm_offset,
+                    "target": entry[0],
+                },
+            )
+            tr.metrics.counter(
+                "repro_runtime_dynamic_failures_total",
+                "dynamic line failures routed into the collector",
+                target=entry[0],
+            ).inc()
         if entry[0] == "block":
             _, block, slot = entry
             page = block.pages[slot]

@@ -24,6 +24,7 @@ from ..heap.block import Block
 from ..heap.large_object_space import LargeObjectSpace
 from ..heap.object_model import SimObject, reachable_from
 from ..heap.page_supply import PageSupply
+from ..obs.trace import maybe_span
 from ..units import KiB
 from .stats import GcStats
 
@@ -86,6 +87,8 @@ class MarkSweepCollector:
         self._young: List[SimObject] = []
         self._remset: Set[SimObject] = set()
         self._nursery_since_full = 0
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
 
     # ==================================================================
     # Allocation
@@ -124,6 +127,16 @@ class MarkSweepCollector:
         self._next_block_index += 1
         space.blocks.append(block)
         self.stats.block_requests += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "marksweep.block_acquired",
+                args={"size_class": space.cell_size},
+            )
+            tr.metrics.counter(
+                "repro_marksweep_blocks_acquired_total",
+                "size-class block acquisitions",
+            ).inc()
         cell = space.cell_size
         line_size = self.geometry.immix_line
         for offset in range(0, self.geometry.block - cell + 1, cell):
@@ -164,55 +177,70 @@ class MarkSweepCollector:
         return result
 
     def collect_full(self, roots: Sequence[SimObject]) -> dict:
-        self.stats.collections += 1
-        self.stats.full_collections += 1
-        self._nursery_since_full = 0
-        self._epoch += 1
-        epoch = self._epoch
-        live = reachable_from(roots, epoch)
-        live_bytes = sum(obj.size for obj in live)
-        self.stats.objects_traced += len(live)
-        self.stats.bytes_traced += live_bytes
-        self.stats.full_gc_live_bytes.append(live_bytes)
-        for obj in live:
-            obj.old = True
-        self._sweep(epoch, keep_old=False)
-        self.stats.los_pages_reclaimed += len(self.los.sweep(epoch, keep_old=False))
-        self._young = []
-        self._remset.clear()
-        return {"kind": "full", "live_bytes": live_bytes, "live_objects": len(live)}
+        tr = self.tracer
+        with maybe_span(tr, "gc.full", phase="gc.other"):
+            self.stats.collections += 1
+            self.stats.full_collections += 1
+            self._nursery_since_full = 0
+            self._epoch += 1
+            epoch = self._epoch
+            with maybe_span(tr, "gc.mark", phase="gc.mark"):
+                live = reachable_from(roots, epoch)
+                live_bytes = sum(obj.size for obj in live)
+                self.stats.objects_traced += len(live)
+                self.stats.bytes_traced += live_bytes
+                self.stats.full_gc_live_bytes.append(live_bytes)
+                for obj in live:
+                    obj.old = True
+            with maybe_span(tr, "gc.sweep", phase="gc.sweep"):
+                self._sweep(epoch, keep_old=False)
+                self.stats.los_pages_reclaimed += len(
+                    self.los.sweep(epoch, keep_old=False)
+                )
+            self._young = []
+            self._remset.clear()
+            return {
+                "kind": "full",
+                "live_bytes": live_bytes,
+                "live_objects": len(live),
+            }
 
     def collect_nursery(self, roots: Sequence[SimObject]) -> dict:
-        self.stats.collections += 1
-        self.stats.nursery_collections += 1
-        self._nursery_since_full += 1
-        self._epoch += 1
-        epoch = self._epoch
-        live_young = self._trace_young(roots, epoch)
-        live_bytes = sum(obj.size for obj in live_young)
-        self.stats.objects_traced += len(live_young)
-        self.stats.bytes_traced += live_bytes
-        self.stats.nursery_live_bytes.append(live_bytes)
-        # Sweep dead young objects straight back to their free lists —
-        # cells are fixed, so no line-mark rebuild is needed.
-        dead = [obj for obj in self._young if obj.mark != epoch]
-        for obj in dead:
-            if obj.is_large:
-                self.stats.los_pages_reclaimed += obj.los_placement.n_pages
-                self.los.free(obj)
-                continue
-            self._free_cell(obj)
-        self.stats.cells_swept += len(self._young)
-        for obj in self._young:
-            if obj.mark == epoch:
-                obj.old = True
-        self._young = []
-        self._remset.clear()
-        return {
-            "kind": "nursery",
-            "live_bytes": live_bytes,
-            "live_objects": len(live_young),
-        }
+        tr = self.tracer
+        with maybe_span(tr, "gc.nursery", phase="gc.other"):
+            self.stats.collections += 1
+            self.stats.nursery_collections += 1
+            self._nursery_since_full += 1
+            self._epoch += 1
+            epoch = self._epoch
+            with maybe_span(tr, "gc.mark", phase="gc.mark"):
+                live_young = self._trace_young(roots, epoch)
+                live_bytes = sum(obj.size for obj in live_young)
+                self.stats.objects_traced += len(live_young)
+                self.stats.bytes_traced += live_bytes
+                self.stats.nursery_live_bytes.append(live_bytes)
+            with maybe_span(tr, "gc.sweep", phase="gc.sweep"):
+                # Sweep dead young objects straight back to their free
+                # lists — cells are fixed, so no line-mark rebuild is
+                # needed.
+                dead = [obj for obj in self._young if obj.mark != epoch]
+                for obj in dead:
+                    if obj.is_large:
+                        self.stats.los_pages_reclaimed += obj.los_placement.n_pages
+                        self.los.free(obj)
+                        continue
+                    self._free_cell(obj)
+                self.stats.cells_swept += len(self._young)
+            for obj in self._young:
+                if obj.mark == epoch:
+                    obj.old = True
+            self._young = []
+            self._remset.clear()
+            return {
+                "kind": "nursery",
+                "live_bytes": live_bytes,
+                "live_objects": len(live_young),
+            }
 
     def _trace_young(self, roots: Sequence[SimObject], epoch: int) -> List[SimObject]:
         stack: List[SimObject] = []

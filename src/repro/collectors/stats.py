@@ -14,6 +14,29 @@ from dataclasses import dataclass, field
 from typing import List
 
 
+def _series_summary(name: str, values: List[int]) -> dict:
+    """Distribution summary of one per-collection series, as floats.
+
+    p95 uses the nearest-rank method, deterministic and exact for the
+    short series a run produces.
+    """
+    if not values:
+        return {
+            f"{name}_count": 0,
+            f"{name}_mean": 0.0,
+            f"{name}_max": 0.0,
+            f"{name}_p95": 0.0,
+        }
+    ordered = sorted(values)
+    rank = max(0, -(-95 * len(ordered) // 100) - 1)  # ceil(0.95 n) - 1
+    return {
+        f"{name}_count": len(ordered),
+        f"{name}_mean": sum(ordered) / len(ordered),
+        f"{name}_max": float(ordered[-1]),
+        f"{name}_p95": float(ordered[rank]),
+    }
+
+
 @dataclass
 class GcStats:
     """Counters for one VM run."""
@@ -97,12 +120,22 @@ class GcStats:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Plain-dict copy of the scalar counters (for reports/tests)."""
-        return {
+        """Plain-dict copy of all counters (for reports/tests/caching).
+
+        The two per-collection live-bytes series are exported as
+        derived summaries (count, mean, max, p95) rather than silently
+        dropped: raw lists would bloat cached results and break the
+        flat-scalar shape reports expect, but their distribution is
+        exactly what pause analysis needs.
+        """
+        snap = {
             name: getattr(self, name)
             for name in self.__dataclass_fields__
             if isinstance(getattr(self, name), (int, float))
         }
+        for name in ("full_gc_live_bytes", "nursery_live_bytes"):
+            snap.update(_series_summary(name, getattr(self, name)))
+        return snap
 
     def gc_survival_rate(self) -> float:
         """Mean fraction of the heap live at full collections."""

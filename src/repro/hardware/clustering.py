@@ -121,6 +121,8 @@ class ClusteringController:
     def __init__(self, geometry: Geometry) -> None:
         self.geometry = geometry
         self._maps: dict = {}
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
 
     def map_for_region(self, region_index: int) -> RedirectionMap:
         rmap = self._maps.get(region_index)
@@ -151,7 +153,24 @@ class ClusteringController:
         region_index, offset = divmod(global_line, per_region)
         rmap = self.map_for_region(region_index)
         boundary = rmap.record_failure(offset)
-        return region_index * per_region + boundary
+        reported = region_index * per_region + boundary
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "clustering.remap",
+                cat="hardware",
+                args={
+                    "region": region_index,
+                    "failed_line": global_line,
+                    "reported_line": reported,
+                    "region_failed_count": rmap.failed_count,
+                },
+            )
+            tr.metrics.counter(
+                "repro_clustering_remaps_total",
+                "failures routed through redirection maps",
+            ).inc()
+        return reported
 
     def installed_map_count(self) -> int:
         return sum(1 for m in self._maps.values() if m.installed)

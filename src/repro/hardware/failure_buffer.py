@@ -74,6 +74,8 @@ class FailureBuffer:
         # Statistics for the evaluation harness.
         self.total_inserted = 0
         self.high_water_mark = 0
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Hardware-side operations
@@ -94,9 +96,40 @@ class FailureBuffer:
         self._entries[address] = FailureEntry(address, data, synthetic)
         self.total_inserted += 1
         self.high_water_mark = max(self.high_water_mark, len(self._entries))
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "fbuf.park",
+                cat="hardware",
+                args={
+                    "address": address,
+                    "synthetic": synthetic,
+                    "occupancy": len(self._entries),
+                },
+            )
+            tr.metrics.counter(
+                "repro_fbuf_parked_writes_total",
+                "failed writes parked in the failure buffer",
+            ).inc()
+            tr.metrics.counter(
+                "repro_fbuf_interrupts_total",
+                "failure-buffer interrupts by kind",
+                kind="WRITE_FAILURE",
+            ).inc()
         self._interrupt(InterruptKind.WRITE_FAILURE)
         if len(self._entries) >= self.capacity - self.reserve:
             self._stalled = True
+            if tr is not None:
+                tr.instant(
+                    "fbuf.stall",
+                    cat="hardware",
+                    args={"occupancy": len(self._entries)},
+                )
+                tr.metrics.counter(
+                    "repro_fbuf_interrupts_total",
+                    "failure-buffer interrupts by kind",
+                    kind="BUFFER_NEARLY_FULL",
+                ).inc()
             self._interrupt(InterruptKind.BUFFER_NEARLY_FULL)
 
     def forward(self, address: int) -> Optional[object]:
@@ -144,6 +177,13 @@ class FailureBuffer:
                 f"(no entry at address {address:#x})"
             )
         self.clear(address)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("fbuf.ack", cat="hardware", args={"address": address})
+            tr.metrics.counter(
+                "repro_fbuf_acks_total",
+                "failure-buffer entries acknowledged by the OS",
+            ).inc()
         return entry
 
     def drain(self) -> List[FailureEntry]:

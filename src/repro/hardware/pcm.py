@@ -138,6 +138,15 @@ class PcmModule:
         self._pending_failures: List[tuple] = []
         self.total_writes = 0
         self.total_reads = 0
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to the module and its sub-components."""
+        self.tracer = tracer
+        self.failure_buffer.tracer = tracer
+        if self.clustering is not None:
+            self.clustering.tracer = tracer
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +247,21 @@ class PcmModule:
             reported = logical_line
         self._failed_logical.add(reported)
         self._pending_failures.append((reported, logical_line))
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "pcm.line_failure",
+                cat="hardware",
+                args={
+                    "logical_line": logical_line,
+                    "physical_line": physical_line,
+                    "reported_line": reported,
+                },
+            )
+            tr.metrics.counter(
+                "repro_pcm_line_failures_total",
+                "PCM lines worn out during the run",
+            ).inc()
         self._park_failed_write(logical_line, data)
         return True
 

@@ -45,6 +45,8 @@ class LargeObjectSpace:
         self.peak_pages = 0
         self.allocations = 0
         self.failed_allocations = 0
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def pages_needed(self, size: int) -> int:
@@ -74,6 +76,12 @@ class LargeObjectSpace:
         self.pages_in_use += n
         self.peak_pages = max(self.peak_pages, self.pages_in_use)
         self.allocations += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("los.alloc", args={"oid": obj.oid, "pages": n})
+            tr.metrics.counter(
+                "repro_los_allocs_total", "large-object allocations"
+            ).inc()
         return True
 
     def free(self, obj: SimObject) -> None:
@@ -83,6 +91,14 @@ class LargeObjectSpace:
         self.supply.release_all(placement.pages)
         self.pages_in_use -= placement.n_pages
         obj.los_placement = None
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "los.free", args={"oid": obj.oid, "pages": placement.n_pages}
+            )
+            tr.metrics.counter(
+                "repro_los_frees_total", "large-object frees"
+            ).inc()
 
     # ------------------------------------------------------------------
     def sweep(

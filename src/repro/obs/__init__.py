@@ -1,0 +1,43 @@
+"""Cross-layer observability: structured tracing, metrics, logging.
+
+See ``trace.py`` for the event/phase model, ``metrics.py`` for the
+registry, ``export.py`` for Chrome-trace/JSONL output and ``log.py``
+for the stdout/stderr conventions.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    CATEGORIES,
+    HARDWARE,
+    OS,
+    ROOT_PHASE,
+    RUNTIME,
+    TraceEvent,
+    Tracer,
+    maybe_span,
+)
+from .export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "HARDWARE",
+    "Histogram",
+    "MetricsRegistry",
+    "OS",
+    "ROOT_PHASE",
+    "RUNTIME",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "maybe_span",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,186 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+The Chrome trace format is the JSON Array/Object format consumed by
+``chrome://tracing`` and Perfetto (ui.perfetto.dev → "Open trace
+file"). Simulated time units map to microseconds: the cost model's
+unit is ~1 ns, so ``ts = units / 1000`` renders GC pauses at a
+natural scale in the viewer.
+
+Layers map to tracks: one process ("repro simulation"), three named
+threads — runtime (tid 1), os (tid 2), hardware (tid 3) — so the
+cross-layer causality of a failure (hardware interrupt → OS upcall →
+dynamic-failure collection) reads top to bottom in the UI.
+
+``validate_chrome_trace`` is the schema check used by tests, the CLI
+and the CI smoke job. It verifies structural requirements Perfetto
+cares about (required keys, known phases, numeric non-negative
+timestamps) and — when the ring buffer did not overflow — that B/E
+span events balance per track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .trace import CATEGORIES, HARDWARE, OS, RUNTIME, Tracer
+
+#: Track ids: runtime on top, hardware at the bottom.
+TRACK_IDS = {RUNTIME: 1, OS: 2, HARDWARE: 3}
+PROCESS_ID = 1
+PROCESS_NAME = "repro simulation"
+
+#: Simulated units per Chrome-trace microsecond (units are ~1 ns).
+UNITS_PER_US = 1000.0
+
+VALID_PHASES = {"B", "E", "i", "I", "M", "X"}
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array: metadata first, then the ring."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROCESS_ID,
+            "tid": 0,
+            "args": {"name": PROCESS_NAME},
+        }
+    ]
+    for cat, tid in sorted(TRACK_IDS.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PROCESS_ID,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": PROCESS_ID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for event in tracer.events():
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts / UNITS_PER_US,
+            "pid": PROCESS_ID,
+            "tid": TRACK_IDS.get(event.cat, 0),
+        }
+        if event.ph == "i":
+            record["s"] = "t"  # instant scope: thread
+        if event.args is not None:
+            record["args"] = event.args
+        events.append(record)
+    return events
+
+
+def chrome_trace(
+    tracer: Tracer, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Full Chrome trace payload (JSON Object format)."""
+    other: Dict[str, Any] = {
+        "recorded_events": tracer.recorded,
+        "dropped_events": tracer.dropped,
+        "time_units_per_us": UNITS_PER_US,
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    payload = chrome_trace(tracer, metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return payload
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """One raw event per line, timestamps in simulated units."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in tracer.events():
+            handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            n += 1
+    return n
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema problems with a Chrome trace payload; [] means valid."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+    if not events:
+        problems.append("traceEvents is empty")
+    dropped = 0
+    other = payload.get("otherData")
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0) or 0)
+    stacks: Dict[int, List[str]] = {}
+    last_ts: Dict[int, float] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing name")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(f"{where}: invalid ph {ph!r}")
+            continue
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+            continue
+        cat = event.get("cat")
+        if cat is not None and cat not in CATEGORIES:
+            problems.append(f"{where}: unknown cat {cat!r}")
+        tid = event["tid"]
+        if ts < last_ts.get(tid, 0.0):
+            problems.append(f"{where}: ts {ts} goes backwards on tid {tid}")
+        last_ts[tid] = max(last_ts.get(tid, 0.0), float(ts))
+        if ph == "B":
+            stacks.setdefault(tid, []).append(name)
+        elif ph == "E":
+            stack = stacks.setdefault(tid, [])
+            if stack:
+                stack.pop()
+            elif dropped == 0:
+                problems.append(f"{where}: E event {name!r} without matching B")
+    if dropped == 0:
+        for tid, stack in stacks.items():
+            if stack:
+                problems.append(
+                    f"tid {tid}: {len(stack)} unclosed B event(s), "
+                    f"innermost {stack[-1]!r}"
+                )
+    return problems

@@ -1,0 +1,101 @@
+"""Logging setup separating machine output from human narration.
+
+Two conventions, enforced repo-wide through this module:
+
+* **stdout** carries primary output — human-readable reports via
+  ``out()`` (suppressed by ``--quiet``) and machine-readable JSON via
+  plain ``print`` (never suppressed, never interleaved with
+  narration).
+* **stderr** carries narration — progress, cache statistics, notices
+  — via ``info()``/``debug()``/``warn()`` on the ``repro`` logger.
+
+Handlers resolve ``sys.stdout``/``sys.stderr`` at *emit* time rather
+than capturing the stream objects at setup, so pytest's capsys and
+shell redirection both see the output regardless of when ``setup()``
+ran. ``BrokenPipeError`` is re-raised instead of swallowed by
+``logging``'s default error handling, because the CLI handles
+``repro ... | head`` by catching it at top level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+OUT_LOGGER = "repro.out"
+DIAG_LOGGER = "repro"
+
+
+class _StreamProxy(logging.Handler):
+    """Handler writing to sys.<stream_name> looked up per record."""
+
+    def __init__(self, stream_name: str) -> None:
+        super().__init__()
+        self._stream_name = stream_name
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = getattr(sys, self._stream_name)
+            stream.write(self.format(record) + "\n")
+        except BrokenPipeError:
+            raise
+        except Exception:  # pragma: no cover - logging's own convention
+            self.handleError(record)
+
+
+def setup(verbosity: int = 0) -> None:
+    """(Re)configure the repro loggers.
+
+    verbosity < 0  — quiet: human reports off, narration warnings only
+    verbosity == 0 — default: reports on, narration on
+    verbosity >= 1 — verbose: debug narration on
+    """
+    out = logging.getLogger(OUT_LOGGER)
+    diag = logging.getLogger(DIAG_LOGGER)
+    for logger, stream in ((out, "stdout"), (diag, "stderr")):
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        handler = _StreamProxy(stream)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    # repro.out is a child of repro in logging's hierarchy; its own
+    # handler plus propagate=False keeps the two streams independent.
+    if verbosity < 0:
+        out.setLevel(logging.ERROR)
+        diag.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        out.setLevel(logging.INFO)
+        diag.setLevel(logging.INFO)
+    else:
+        out.setLevel(logging.DEBUG)
+        diag.setLevel(logging.DEBUG)
+
+
+def _ensure_setup() -> None:
+    if not logging.getLogger(OUT_LOGGER).handlers:
+        setup(0)
+
+
+def out(message: str = "") -> None:
+    """Primary human-readable output (stdout; silenced by --quiet)."""
+    _ensure_setup()
+    logging.getLogger(OUT_LOGGER).info(message)
+
+
+def info(message: str) -> None:
+    """Narration (stderr)."""
+    _ensure_setup()
+    logging.getLogger(DIAG_LOGGER).info(message)
+
+
+def debug(message: str) -> None:
+    """Verbose-only narration (stderr; needs -v)."""
+    _ensure_setup()
+    logging.getLogger(DIAG_LOGGER).debug(message)
+
+
+def warn(message: str) -> None:
+    """Warnings (stderr; survives --quiet)."""
+    _ensure_setup()
+    logging.getLogger(DIAG_LOGGER).warning(message)

@@ -58,6 +58,8 @@ class OsMemoryManager:
         self._owners: Dict[int, str] = {}
         self.relocated_pages = 0
         self.upcalls = 0
+        #: Optional observability hook; see :mod:`repro.obs.trace`.
+        self.tracer = None
         # Wire the module's interrupts to this manager and absorb any
         # failures the module already knows about (an aged module).
         pcm._on_interrupt = self._on_interrupt
@@ -77,6 +79,18 @@ class OsMemoryManager:
         page.record_failure(offset)
         if first_failure:
             self.pools.note_page_degraded(page_index)
+            tr = self.tracer
+            if tr is not None:
+                tr.instant(
+                    "os.page_degraded",
+                    cat="os",
+                    args={"page": page_index, "line_offset": offset},
+                )
+                tr.metrics.counter(
+                    "repro_os_pages_degraded_total",
+                    "PCM pages that saw their first line failure",
+                ).inc()
+                self.pools.update_gauges(tr.metrics)
         address = self.geometry.line_address(global_line)
         return FailureEvent(page_index, offset, address, None)
 
@@ -88,6 +102,7 @@ class OsMemoryManager:
         pages = [self.pools.take_perfect(allow_dram=True) for _ in range(n_pages)]
         for page in pages:
             self._owners[page.index] = owner
+        self._trace_grant("os.mmap", "perfect", n_pages, owner)
         return pages
 
     def mmap_imperfect(self, n_pages: int, owner: str = "runtime") -> List[PhysicalPage]:
@@ -105,12 +120,30 @@ class OsMemoryManager:
         pages = [self.pools.take_any_pcm() for _ in range(n_pages)]
         for page in pages:
             self._owners[page.index] = owner
+        self._trace_grant("os.mmap_imperfect", "imperfect", n_pages, owner)
         return pages
+
+    def _trace_grant(self, name: str, kind: str, n_pages: int, owner: str) -> None:
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.instant(name, cat="os", args={"pages": n_pages, "owner": owner})
+        tr.metrics.counter(
+            "repro_os_page_grants_total", "pages granted by mmap calls", kind=kind
+        ).inc(n_pages)
+        self.pools.update_gauges(tr.metrics)
 
     def map_failures(
         self, pages: Sequence[PhysicalPage]
     ) -> Dict[int, FrozenSet[int]]:
         """Failure map for a mapped region: page index -> failed offsets."""
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("os.map_failures", cat="os", args={"pages": len(pages)})
+            tr.metrics.counter(
+                "repro_os_map_failures_calls_total",
+                "map-failures system calls serviced",
+            ).inc()
         return {
             page.index: frozenset(self.failure_table.failed_offsets(page.index))
             for page in pages
@@ -136,6 +169,18 @@ class OsMemoryManager:
 
     def service_failures(self) -> List[FailureEvent]:
         """Drain pending failures: update tables, notify or relocate."""
+        tr = self.tracer
+        if tr is None:
+            return self._service_failures()
+        with tr.span("os.service_failures", cat="os"):
+            events = self._service_failures()
+        if events:
+            tr.instant(
+                "os.failures_serviced", cat="os", args={"events": len(events)}
+            )
+        return events
+
+    def _service_failures(self) -> List[FailureEvent]:
         self._drain_rewrites_to_known_failures()
         events: List[FailureEvent] = []
         received_addresses: List[int] = []
@@ -164,7 +209,20 @@ class OsMemoryManager:
             if self._handler is None:
                 raise ProtocolError("failure on runtime page with no handler")
             self.upcalls += 1
-            self._handler(runtime_events)
+            tr = self.tracer
+            if tr is not None:
+                tr.metrics.counter(
+                    "repro_os_upcalls_total", "failure upcalls into the runtime"
+                ).inc()
+                with tr.span(
+                    "os.upcall",
+                    cat="os",
+                    phase="os.upcall",
+                    args={"events": len(runtime_events)},
+                ):
+                    self._handler(runtime_events)
+            else:
+                self._handler(runtime_events)
         # The runtime has recovered the data; the OS acknowledges the
         # entries it received so the hardware can reuse the slots.
         # Acknowledgement is strict: releasing an address the buffer
@@ -202,6 +260,15 @@ class OsMemoryManager:
         """
         self.pools.take_perfect(allow_dram=True)
         self.relocated_pages += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "os.relocate_page", cat="os", args={"page": event.page_index}
+            )
+            tr.metrics.counter(
+                "repro_os_page_relocations_total",
+                "whole-page relocations for failure-unaware owners",
+            ).inc()
 
     # ------------------------------------------------------------------
     def imperfect_fraction(self) -> float:

@@ -29,6 +29,7 @@ from ..faults.injector import FaultInjector
 from ..hardware.geometry import Geometry
 from ..heap.object_model import ObjectFactory, SimObject
 from ..heap.page_supply import HeapPage, PageSupply
+from ..obs.trace import Tracer
 from .time_model import DEFAULT_COST_MODEL, CostModel
 
 #: Collector selection strings, paper notation.
@@ -59,6 +60,9 @@ class VmConfig:
     #: defers to the ``REPRO_VERIFY`` environment variable, defaulting
     #: to "off".
     verify: Optional[str] = None
+    #: Observability: a :class:`repro.obs.Tracer` to wire through all
+    #: three layers, or None (the default) for zero-cost no-op tracing.
+    tracer: Optional[Tracer] = None
 
     def __post_init__(self) -> None:
         if self.collector not in COLLECTORS:
@@ -86,15 +90,42 @@ class VirtualMachine:
         self._roots: Dict[int, SimObject] = {}
         self._pending_failure_gc = False
         self._displaced: List[SimObject] = []
+        self.tracer = config.tracer
+        if self.tracer is not None:
+            # Simulated time is a pure function of the stats counters,
+            # which only ever grow — a monotone clock for event stamps.
+            self.tracer.bind_clock(lambda: self.cost_model.total_time(self.stats))
         self.injector = injector or self._build_injector()
         self.os = self.injector.os
         # Protocol order matters: register the handler, then map
-        # imperfect memory (section 3.2.2).
+        # imperfect memory (section 3.2.2). The tracer is wired first so
+        # the initial heap-mapping system calls are already on record.
+        if self.tracer is not None:
+            self._wire_tracer()
         self.os.register_failure_handler(self._on_failure_upcall)
         self._heap_pages = self._map_heap()
         self.supply = PageSupply(self._heap_pages, self.geometry)
         self.collector = self._build_collector()
+        if self.tracer is not None:
+            self.collector.tracer = self.tracer
+            self.collector.los.tracer = self.tracer
         self.auditor = HeapAuditor(self, level=self._verify_level())
+
+    def _wire_tracer(self) -> None:
+        """Push the tracer into every instrumented layer."""
+        tracer = self.tracer
+        self.injector.pcm.set_tracer(tracer)
+        self.os.tracer = tracer
+        tracer.instant(
+            "vm.start",
+            args={
+                "collector": self.config.collector,
+                "heap_bytes": self.config.heap_bytes,
+                "static_failed_lines": len(
+                    self.injector.pcm.failed_logical_lines()
+                ),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -211,8 +242,19 @@ class VirtualMachine:
     # Collection
     # ------------------------------------------------------------------
     def collect(self, force_full: bool = False) -> dict:
+        tr = self.tracer
+        start = tr.clock() if tr is not None else 0.0
         result = self.collector.collect(self.roots(), force_full=force_full)
         self._replace_displaced()
+        if tr is not None:
+            tr.metrics.counter(
+                "repro_gc_collections_total",
+                "collections by kind",
+                kind=result["kind"],
+            ).inc()
+            tr.metrics.histogram(
+                "repro_gc_pause_ms", "GC pause durations in simulated ms"
+            ).observe(self.cost_model.to_ms(tr.clock() - start))
         self.auditor.after_gc()
         return result
 
@@ -220,6 +262,18 @@ class VirtualMachine:
         """Full collection forced by a dynamic failure (section 4.2)."""
         self._pending_failure_gc = False
         self.stats.dynamic_failure_collections += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "vm.dynamic_failure_collection",
+                args={"pending_displaced": len(self.collector.displaced)}
+                if hasattr(self.collector, "displaced")
+                else None,
+            )
+            tr.metrics.counter(
+                "repro_gc_dynamic_failure_collections_total",
+                "full collections forced by dynamic failures",
+            ).inc()
         self.collect(force_full=True)
 
     def _replace_displaced(self) -> None:
@@ -235,6 +289,9 @@ class VirtualMachine:
     # ------------------------------------------------------------------
     def _on_failure_upcall(self, events: Sequence) -> None:
         """OS handler: route each failed line into the collector."""
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("vm.failure_upcall", args={"events": len(events)})
         needs_gc = False
         for event in events:
             if isinstance(self.collector, ImmixCollector):

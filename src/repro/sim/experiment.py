@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from .cache import ResultCache
 from .machine import RunConfig, RunResult, run_benchmark
@@ -60,6 +61,15 @@ class ExperimentRunner:
     cells out over worker processes; parallel execution is bit-identical
     to serial because each cell is deterministic and ordering is
     restored by the grid index.
+
+    ``tracer_factory`` (config -> Tracer) threads a fresh tracer through
+    every cell actually executed; ``trace_sink`` (config, tracer) is
+    called right after each traced run so the caller can export the
+    trace. Tracing composes badly with both worker processes (tracers
+    do not cross process boundaries) and the disk cache (cached results
+    carry no events), so a traced runner skips the disk-cache read and
+    callers should keep ``jobs=1``; the in-memory memo still guarantees
+    each unique cell is traced exactly once.
     """
 
     def __init__(
@@ -69,12 +79,16 @@ class ExperimentRunner:
         progress: Optional[Callable[[str], None]] = None,
         cache: Optional[ResultCache] = None,
         jobs: int = 1,
+        tracer_factory: Optional[Callable[[RunConfig], Tracer]] = None,
+        trace_sink: Optional[Callable[[RunConfig, Tracer], None]] = None,
     ) -> None:
         self.seeds = tuple(seeds)
         self.cost_model = cost_model
         self.progress = progress or (lambda message: None)
         self.cache = cache
         self.jobs = jobs
+        self.tracer_factory = tracer_factory
+        self.trace_sink = trace_sink
         # Keyed on (config, cost model): two runners (or one runner
         # whose model is swapped) must never share timings computed
         # under different constants.
@@ -86,10 +100,17 @@ class ExperimentRunner:
     def run_one(self, config: RunConfig) -> RunResult:
         key = (config, self.cost_model)
         cached = self._cache.get(key)
-        if cached is None and self.cache is not None:
+        if cached is None and self.cache is not None and self.tracer_factory is None:
             cached = self.cache.get(config)
         if cached is None:
-            cached = run_benchmark(config, self.cost_model)
+            tracer = (
+                self.tracer_factory(config)
+                if self.tracer_factory is not None
+                else None
+            )
+            cached = run_benchmark(config, self.cost_model, tracer=tracer)
+            if tracer is not None and self.trace_sink is not None:
+                self.trace_sink(config, tracer)
             if self.cache is not None:
                 self.cache.put(config, cached)
         self._cache[key] = cached
@@ -105,6 +126,10 @@ class ExperimentRunner:
         no persistent cache — the lazy path is then strictly cheaper
         (aggregation may early-exit and skip cells).
         """
+        if self.tracer_factory is not None:
+            # Traced cells must run through run_one (the pool and the
+            # disk cache would both lose the events).
+            return None
         if self.jobs <= 1 and self.cache is None:
             return None
         expanded: List[RunConfig] = []

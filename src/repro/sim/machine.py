@@ -8,11 +8,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional
+from typing import Dict, Optional
 
 from ..errors import OutOfMemoryError
 from ..faults.generator import FailureModel
+from ..faults.injector import FaultInjector
 from ..hardware.geometry import Geometry
+from ..hardware.pcm import EnduranceModel, PcmModule
+from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from ..runtime.vm import VirtualMachine, VmConfig
 from ..workloads.dacapo import workload
@@ -62,6 +65,9 @@ class RunResult:
     borrowed_pages: int
     full_gc_pause_ms: float
     failure_note: str = ""
+    #: Per-phase simulated-time breakdown (mutator, gc.mark, ...) when
+    #: the run was traced; the values sum to ``time_units``.
+    phase_breakdown: Optional[Dict[str, float]] = None
 
     @property
     def dnf(self) -> bool:
@@ -87,6 +93,7 @@ def run_benchmark(
     config: RunConfig,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     verify: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Execute one benchmark invocation; never raises on heap exhaustion.
 
@@ -100,6 +107,11 @@ def run_benchmark(
     :class:`RunConfig` so cached results stay comparable across
     verification settings. Violations raise
     :class:`~repro.errors.HeapAuditError`.
+
+    ``tracer`` threads a :class:`repro.obs.Tracer` through all three
+    layers; the result then carries a per-phase time breakdown. Also
+    kept out of :class:`RunConfig`: tracing never changes behaviour, so
+    traced and untraced results are interchangeable.
     """
     geometry = config.geometry()
     spec = config.spec()
@@ -114,8 +126,22 @@ def run_benchmark(
         arraylets=config.arraylets,
         seed=config.seed,
         verify=verify,
+        tracer=tracer,
     )
     vm = VirtualMachine(vm_config, cost_model=cost_model)
+    return _drive_and_summarize(vm, spec, config, cost_model, min_heap, heap, tracer)
+
+
+def _drive_and_summarize(
+    vm: VirtualMachine,
+    spec: WorkloadSpec,
+    config: RunConfig,
+    cost_model: CostModel,
+    min_heap: int,
+    heap: int,
+    tracer: Optional[Tracer],
+) -> RunResult:
+    """Drive the workload over a built VM and summarize the outcome."""
     completed = True
     note = ""
     try:
@@ -125,6 +151,7 @@ def run_benchmark(
         completed = False
         note = str(exc)
     stats = vm.stats
+    geometry = vm.geometry
     # Pause estimation needs the live volume a full-heap trace would
     # visit; benchmarks that never escalated past nursery collections
     # fall back to the workload's peak live set (min heap / headroom).
@@ -142,4 +169,65 @@ def run_benchmark(
         borrowed_pages=vm.supply.accountant.borrowed,
         full_gc_pause_ms=cost_model.full_gc_pause_ms(int(mean_live), lines_est),
         failure_note=note,
+        phase_breakdown=tracer.phase_breakdown() if tracer is not None else None,
     )
+
+
+def run_wearing_benchmark(
+    config: RunConfig,
+    mean_writes: float = 25.0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    verify: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
+    """One run on a *wearing* module, so dynamic failures arrive mid-run.
+
+    :func:`run_benchmark` models an aged module whose failures are all
+    static; its writes never wear lines, so the dynamic path (failure
+    buffer → OS upcall → evacuation collection) stays cold. This
+    variant — the same recipe as the audit campaigns — gives every
+    line a low sampled endurance (``mean_writes``), enables
+    write-through wear, and forces enough mutation that application
+    stores actually kill lines. It is the backing for ``repro trace``,
+    where a trace without hardware-layer events would be useless.
+    """
+    import dataclasses as _dc
+
+    geometry = config.geometry()
+    spec = config.spec()
+    # Campaign recipe: mutation forced on so stores wear lines; pinning
+    # left alone (tracing tolerates degradations, unlike audits).
+    spec = _dc.replace(
+        spec, mutations_per_object=max(spec.mutations_per_object, 0.6)
+    )
+    min_heap = min_heap_bytes(config)
+    heap = int(min_heap * config.heap_multiplier)
+    block = geometry.block
+    raw = (heap + block - 1) // block * block
+    region = geometry.region
+    pcm_bytes = (raw + region - 1) // region * region + 4 * region
+    pcm = PcmModule(
+        size_bytes=pcm_bytes,
+        geometry=geometry,
+        endurance=EnduranceModel(mean_writes=mean_writes, cv=0.3, seed=config.seed),
+        clustering_enabled=config.region_pages > 0,
+        failure_buffer_capacity=128,
+        seed=config.seed,
+    )
+    if config.failure_model.rate > 0.0:
+        static_map = config.failure_model.build(pcm.n_lines, geometry, config.seed)
+        pcm.inject_static_failures(static_map.failed_lines)
+    injector = FaultInjector(FailureModel(), geometry=geometry, pcm=pcm)
+    vm_config = VmConfig(
+        heap_bytes=heap,
+        geometry=geometry,
+        collector=config.collector,
+        wear_writes=True,
+        compensate=False,
+        arraylets=config.arraylets,
+        seed=config.seed,
+        verify=verify,
+        tracer=tracer,
+    )
+    vm = VirtualMachine(vm_config, injector=injector, cost_model=cost_model)
+    return _drive_and_summarize(vm, spec, config, cost_model, min_heap, heap, tracer)

@@ -1,0 +1,128 @@
+"""Chrome trace export: schema round-trip, validator, JSONL."""
+
+import json
+
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace
+from repro.obs.export import (
+    PROCESS_ID,
+    TRACK_IDS,
+    UNITS_PER_US,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import HARDWARE, OS, RUNTIME
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def sample_tracer() -> Tracer:
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    tracer.instant("pcm.line_failure", HARDWARE, args={"line": 7})
+    clock.now = 1000.0
+    with tracer.span("os.upcall", OS):
+        clock.now = 3000.0
+    with tracer.span("gc.full", RUNTIME):
+        clock.now = 5000.0
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(tracer, str(path), metadata={"workload": "x"})
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["otherData"]["workload"] == "x"
+        assert loaded["otherData"]["recorded_events"] == tracer.recorded
+
+    def test_layers_map_to_fixed_tracks(self):
+        payload = chrome_trace(sample_tracer())
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["pcm.line_failure"]["tid"] == TRACK_IDS[HARDWARE]
+        assert by_name["os.upcall"]["tid"] == TRACK_IDS[OS]
+        assert by_name["gc.full"]["tid"] == TRACK_IDS[RUNTIME]
+        assert all(e["pid"] == PROCESS_ID for e in events)
+
+    def test_timestamps_scaled_to_microseconds(self):
+        payload = chrome_trace(sample_tracer())
+        begin = next(
+            e for e in payload["traceEvents"]
+            if e["ph"] == "B" and e["name"] == "gc.full"
+        )
+        assert begin["ts"] == 3000.0 / UNITS_PER_US
+
+    def test_metadata_events_name_the_threads(self):
+        payload = chrome_trace(sample_tracer())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {1: RUNTIME, 2: OS, 3: HARDWARE}
+
+
+class TestValidator:
+    def test_flags_unbalanced_span(self):
+        tracer = Tracer()
+        tracer.begin("gc.full")
+        problems = validate_chrome_trace(chrome_trace(tracer))
+        assert any("unclosed B" in p for p in problems)
+
+    def test_flags_orphan_end(self):
+        tracer = Tracer()
+        tracer.end("gc.full")
+        problems = validate_chrome_trace(chrome_trace(tracer))
+        assert any("without matching B" in p for p in problems)
+
+    def test_tolerates_imbalance_after_overflow(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, capacity=3)
+        for _ in range(5):
+            with tracer.span("gc.full"):
+                clock.now += 1.0
+        assert tracer.dropped > 0
+        # The surviving window starts mid-span; that must not fail.
+        assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+    def test_flags_structural_damage(self):
+        payload = chrome_trace(sample_tracer())
+        payload["traceEvents"][0]["ph"] = "Z"
+        assert any("invalid ph" in p for p in validate_chrome_trace(payload))
+        assert validate_chrome_trace({"no": "events"}) != []
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_flags_backwards_time(self):
+        payload = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "ts": 5.0, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "i", "ts": 1.0, "pid": 1, "tid": 1},
+            ]
+        }
+        assert any("backwards" in p for p in validate_chrome_trace(payload))
+
+
+class TestJsonl:
+    def test_one_event_per_line_in_simulated_units(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer, str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer.events())
+        first = json.loads(lines[0])
+        assert first == {
+            "name": "pcm.line_failure",
+            "cat": HARDWARE,
+            "ph": "i",
+            "ts": 0.0,
+            "args": {"line": 7},
+        }

@@ -1,0 +1,32 @@
+"""Stream conventions of repro.obs.log."""
+
+from repro.obs import log as obslog
+
+
+class TestStreams:
+    def test_out_goes_to_stdout_info_to_stderr(self, capsys):
+        obslog.setup(0)
+        obslog.out("report line")
+        obslog.info("narration")
+        captured = capsys.readouterr()
+        assert captured.out == "report line\n"
+        assert captured.err == "narration\n"
+
+    def test_quiet_silences_reports_keeps_warnings(self, capsys):
+        obslog.setup(-1)
+        obslog.out("report line")
+        obslog.info("narration")
+        obslog.warn("warning line")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "warning line\n"
+        obslog.setup(0)
+
+    def test_debug_needs_verbose(self, capsys):
+        obslog.setup(0)
+        obslog.debug("hidden")
+        assert capsys.readouterr().err == ""
+        obslog.setup(1)
+        obslog.debug("shown")
+        assert capsys.readouterr().err == "shown\n"
+        obslog.setup(0)

@@ -137,6 +137,81 @@ class TestCommands:
         assert second.out == first.out
         assert "0 misses" in second.err
 
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--workload", "luindex", "--scale", "0.05",
+             "--out", str(out), "--jsonl", str(tmp_path / "trace.jsonl"),
+             "--metrics-out", str(tmp_path / "metrics.prom")]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        categories = {
+            e.get("cat") for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        # A wearing run exercises every layer of the stack.
+        assert categories == {"hardware", "os", "runtime"}
+        assert payload["otherData"]["dynamic_failed_lines"] > 0
+        captured = capsys.readouterr()
+        assert "phase breakdown" in captured.out
+        assert "mutator" in captured.out
+        metrics = (tmp_path / "metrics.prom").read_text()
+        assert "repro_gc_pause_ms_bucket" in metrics
+        assert (tmp_path / "trace.jsonl").read_text().count("\n") > 0
+
+    def test_trace_unknown_workload(self, capsys):
+        assert main(["trace", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_quiet_suppresses_reports_not_json(self, capsys):
+        assert main(["-q", "bench", "luindex", "--scale", "0.2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert main(["-q", "figures", "headline", "--scale", "0.12",
+                     "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert "headline" in payload
+
+    def test_bench_trace_flag(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bench.trace.json"
+        code = main(
+            ["bench", "luindex", "--scale", "0.2", "--rate", "0.1",
+             "--trace", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["workload"] == "luindex"
+        assert "phase breakdown" in capsys.readouterr().out
+
+    def test_sweep_trace_writes_per_cell_traces(self, capsys, tmp_path):
+        import json
+
+        traces = tmp_path / "traces"
+        out = tmp_path / "BENCH_sweep.json"
+        code = main(
+            ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+             "--scale", "0.2", "--out", str(out), "--trace", str(traces)]
+        )
+        assert code == 0
+        files = sorted(p.name for p in traces.iterdir())
+        assert files == [
+            "luindex_r0_h2_L256_sticky-immix_s0.trace.json",
+            "luindex_r0p1_h2_L256_sticky-immix_s0.trace.json",
+        ]
+        payload = json.loads(out.read_text())
+        assert payload["cells"] == 2
+        assert len(payload["cell_timings"]) == 2
+        capsys.readouterr()
+
     def test_lifetime_command(self, capsys):
         code = main(
             ["lifetime", "--strategy", "retire", "--workload", "luindex",
