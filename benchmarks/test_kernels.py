@@ -1,0 +1,101 @@
+"""Hot-path kernel microbenchmarks (pytest-benchmark rig).
+
+Times each vectorized kernel against its retained pure-Python
+reference on the same deterministic synthetic inputs the ``repro
+microbench`` subcommand uses, and asserts both the output identity and
+the speedups the kernel overhaul claims. Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels.py -q
+
+The thresholds are deliberately looser than locally measured numbers
+(shared CI machines jitter); bit-identity is exact.
+"""
+
+import pytest
+
+from repro.hardware.geometry import Geometry
+from repro.heap import line_table
+from repro.sim.microbench import (
+    MULTI_LINE_OBJECT_SIZES,
+    bench_kernels,
+    build_synthetic_block,
+    build_synthetic_failure_table,
+    synthetic_line_tables,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fast_kernels():
+    previous = line_table.set_kernel_mode("fast")
+    yield
+    line_table.set_kernel_mode(previous)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    geometry = Geometry(immix_line=64)  # 512-line tables: the big case
+    return list(synthetic_line_tables(geometry.immix_lines_per_block).values())
+
+
+def test_free_runs(benchmark, tables):
+    benchmark(lambda: [line_table.free_runs(t) for t in tables])
+    for table in tables:
+        assert line_table.free_runs(table) == line_table.free_runs_reference(table)
+
+
+def test_fragmentation_index(benchmark, tables):
+    benchmark(lambda: [line_table.fragmentation_index(t) for t in tables])
+    for table in tables:
+        assert line_table.fragmentation_index(
+            table
+        ) == line_table.fragmentation_index_reference(table)
+
+
+def test_sweep_small_objects(benchmark):
+    block = build_synthetic_block(Geometry(), seed=0)
+    benchmark(lambda: block.rebuild_line_marks(1))
+
+
+def test_sweep_multi_line_objects(benchmark):
+    block = build_synthetic_block(
+        Geometry(immix_line=64), seed=0, object_sizes=MULTI_LINE_OBJECT_SIZES
+    )
+    benchmark(lambda: block.rebuild_line_marks(1))
+
+
+def test_cached_free_runs(benchmark):
+    block = build_synthetic_block(Geometry(), seed=0)
+    benchmark(block.free_runs)
+
+
+def test_failure_table_decode(benchmark):
+    table = build_synthetic_failure_table(Geometry(), seed=0)
+    pages = table.imperfect_pages()
+
+    def decode():
+        table.failed_line_count()
+        table.compressed_size_bytes()
+        for page in pages:
+            table.failed_offsets(page)
+
+    benchmark(decode)
+
+
+def test_kernel_speedups_and_identity():
+    """The microbench suite itself: identity is exact, speedups hold."""
+    entries = {e["kernel"]: e for e in bench_kernels(iterations=200)}
+    assert all(e["identical"] for e in entries.values()), entries
+    # CI-safe floors, well under locally measured numbers (see
+    # EXPERIMENTS.md for the measured table).
+    floors = {
+        "line_table.free_runs": 2.0,
+        "block.rebuild_line_marks (multi-line objects)": 3.0,
+        "block.free_runs (cached)": 10.0,
+        "block.objects_overlapping_line": 10.0,
+        "failure_table decode": 3.0,
+        "sorted_defrag_candidates": 4.0,
+    }
+    for kernel, floor in floors.items():
+        assert entries[kernel]["speedup"] >= floor, (
+            f"{kernel}: {entries[kernel]['speedup']:.2f}x < {floor}x floor"
+        )

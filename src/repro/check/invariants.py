@@ -99,16 +99,20 @@ def check_block_line_marks(vm, violations: List[Violation], trigger: str) -> Non
 
 
 def check_object_placement(vm, violations: List[Violation], trigger: str) -> None:
-    """Objects stay in bounds, never overlap, never sit on failed lines."""
+    """Objects stay in bounds, never overlap, never sit on failed lines.
+
+    Reads the block's extent index (the same offset-sorted view the
+    bisect kernels consume) rather than re-sorting the object list —
+    the auditor validates the heap *through* the cached summaries, and
+    :func:`check_kernel_caches` separately proves those summaries match
+    a reference recomputation.
+    """
     collector = vm.collector
     if not isinstance(collector, ImmixCollector):
         return
     for block in collector.blocks:
         line_size = block.geometry.immix_line
-        placed = sorted(
-            (obj for obj in block.objects if obj.offset is not None),
-            key=lambda o: o.offset,
-        )
+        placed, _starts = block.extent_index()
         prev_end = 0
         prev_oid = None
         for obj in placed:
@@ -625,7 +629,102 @@ def check_time_breakdown(vm, violations: List[Violation], trigger: str) -> None:
         )
 
 
-#: The full checker suite, in layer order (hardware outward).
+def check_kernel_caches(vm, violations: List[Violation], trigger: str) -> None:
+    """Cached hot-path summaries agree with a reference recomputation.
+
+    The fast kernels trust generation counters to invalidate the
+    per-block free-run summary, the object extent index, and the OS
+    failure table's decoded-offset cache. A mutation that bypasses the
+    owning object's mutators would leave a cache stale; this checker
+    recomputes each summary with the retained reference kernels and
+    flags any divergence. Under ``REPRO_KERNELS=reference`` the cached
+    accessors already recompute per query, so the check is trivially
+    clean — which is itself the bit-identity claim.
+    """
+    collector = vm.collector
+    if isinstance(collector, ImmixCollector):
+        for block in collector.blocks:
+            summary = block.line_summary()
+            reference_runs = line_table.free_runs_reference(block.line_states)
+            reference_free = line_table.count_state(block.line_states, FREE)
+            reference_largest = max(
+                (length for _start, length in reference_runs), default=0
+            )
+            if (
+                summary.runs != reference_runs
+                or summary.free_lines != reference_free
+                or summary.largest_run != reference_largest
+            ):
+                violations.append(
+                    Violation(
+                        invariant="kernel-cache-coherence",
+                        layer="heap",
+                        block=block.virtual_index,
+                        message="cached free-run summary diverged from the "
+                        "reference recomputation (a line-state mutation "
+                        "bypassed the block's generation counter)",
+                        expected=f"runs {reference_runs[:8]}, "
+                        f"free {reference_free}, largest {reference_largest}",
+                        actual=f"runs {summary.runs[:8]}, "
+                        f"free {summary.free_lines}, "
+                        f"largest {summary.largest_run}",
+                    )
+                )
+            objs, starts = block.extent_index()
+            expected_objs = sorted(
+                (o for o in block.objects if o.offset is not None),
+                key=lambda o: o.offset,
+            )
+            if [o.oid for o in objs] != [o.oid for o in expected_objs] or starts != [
+                o.offset for o in expected_objs
+            ]:
+                violations.append(
+                    Violation(
+                        invariant="kernel-cache-coherence",
+                        layer="heap",
+                        block=block.virtual_index,
+                        message="cached object extent index diverged from a "
+                        "fresh offset sort of the block's objects",
+                        expected=f"{len(expected_objs)} placed objects at "
+                        f"{[o.offset for o in expected_objs][:8]}",
+                        actual=f"{len(objs)} indexed objects at {starts[:8]}",
+                    )
+                )
+    table = vm.os.failure_table
+    count = 0
+    for page_index in table.imperfect_pages():
+        bitmap = table.bitmap(page_index)
+        reference_offsets = {
+            i for i in range(vm.geometry.lines_per_page) if bitmap >> i & 1
+        }
+        count += len(reference_offsets)
+        if table.failed_offsets(page_index) != reference_offsets:
+            violations.append(
+                Violation(
+                    invariant="kernel-cache-coherence",
+                    layer="os",
+                    page=page_index,
+                    message="failure table's decoded offset cache diverged "
+                    "from its bitmap",
+                    expected=f"offsets {sorted(reference_offsets)}",
+                    actual=f"offsets {sorted(table.failed_offsets(page_index))}",
+                )
+            )
+    if table.failed_line_count() != count:
+        violations.append(
+            Violation(
+                invariant="kernel-cache-coherence",
+                layer="os",
+                message="failure table's incremental failed-line count "
+                "diverged from the popcount of its bitmaps",
+                expected=f"{count} failed lines",
+                actual=f"{table.failed_line_count()}",
+            )
+        )
+
+
+#: The full checker suite, in layer order (hardware outward), ending
+#: with the meta-checker that validates the caching machinery itself.
 ALL_CHECKERS = (
     check_redirection_maps,
     check_failure_chain,
@@ -636,6 +735,7 @@ ALL_CHECKERS = (
     check_page_conservation,
     check_space_accounting,
     check_time_breakdown,
+    check_kernel_caches,
 )
 
 

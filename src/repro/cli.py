@@ -7,6 +7,7 @@ Commands
 ``bench``      run one workload at one configuration and dump counters
 ``trace``      record a Chrome trace of one (wearing) run
 ``check``      run a randomized fault-injection audit campaign
+``microbench`` time the hot-path kernels against their reference twins
 ``lifetime``   age a PCM module under a wear-management strategy
 ``workloads``  list the synthetic DaCapo-style workloads
 
@@ -34,6 +35,7 @@ Examples::
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
     python -m repro trace --workload luindex --scale 0.1 --out trace.json
     python -m repro check --seed 0
+    python -m repro microbench --iterations 2000 --out BENCH_kernels.json
     python -m repro lifetime --strategy retire --iterations 10
 """
 
@@ -242,6 +244,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="paranoid",
         choices=[lvl for lvl in VERIFY_LEVELS if lvl != "off"],
         help="audit trigger density (default: %(default)s)",
+    )
+
+    microbench = sub.add_parser(
+        "microbench",
+        help="time the hot-path kernels against their reference twins",
+    )
+    microbench.add_argument(
+        "--iterations",
+        type=int,
+        default=2000,
+        help="timing iterations per kernel (default: %(default)s)",
+    )
+    microbench.add_argument("--seed", type=int, default=0)
+    microbench.add_argument(
+        "--workloads", nargs="+", default=["luindex"], metavar="NAME",
+        help="end-to-end grid workloads (default: %(default)s)",
+    )
+    microbench.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.25]
+    )
+    microbench.add_argument("--heap", type=float, default=2.0, metavar="MULTIPLIER")
+    microbench.add_argument("--scale", type=float, default=0.1)
+    microbench.add_argument(
+        "--verify-heap",
+        default=None,
+        choices=list(VERIFY_LEVELS),
+        metavar="LEVEL",
+        help="audit the end-to-end runs at this level (off, gc, upcall, "
+        "or paranoid); the audits run under both kernel modes",
+    )
+    microbench.add_argument(
+        "--skip-end-to-end",
+        action="store_true",
+        help="kernel timings only; skip the fast-vs-reference grid",
+    )
+    microbench.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_kernels.json",
+        help="benchmark artifact path (default: %(default)s)",
     )
 
     lifetime = sub.add_parser("lifetime", help="age a PCM module")
@@ -675,6 +717,55 @@ def cmd_check(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_microbench(args) -> int:
+    from .sim.microbench import payload_ok, run_microbench
+    from .workloads.dacapo import DACAPO
+
+    available = [spec.name for spec in DACAPO]
+    unknown = [name for name in args.workloads if name not in available]
+    if unknown:
+        obslog.warn(f"unknown workloads: {', '.join(unknown)}")
+        obslog.warn(f"available: {', '.join(available)}")
+        return 2
+    payload = run_microbench(
+        iterations=args.iterations,
+        seed=args.seed,
+        workloads=args.workloads,
+        rates=args.rates,
+        heap_multiplier=args.heap,
+        scale=args.scale,
+        verify=args.verify_heap,
+        end_to_end=not args.skip_end_to_end,
+        progress=lambda message: obslog.info(f"  .. {message}"),
+    )
+    obslog.out(f"{'kernel':45s} {'fast(us)':>9s} {'ref(us)':>9s} "
+               f"{'speedup':>8s} {'identical':>9s}")
+    for entry in payload["kernels"]:
+        per_fast = entry["fast_seconds"] / entry["iterations"] * 1e6
+        per_reference = entry["reference_seconds"] / entry["iterations"] * 1e6
+        obslog.out(f"{entry['kernel']:45s} {per_fast:9.2f} {per_reference:9.2f} "
+                   f"{entry['speedup']:7.2f}x {str(entry['identical']):>9s}")
+    end_to_end = payload["end_to_end"]
+    if end_to_end is not None:
+        grid = end_to_end["grid"]
+        obslog.out(
+            f"end-to-end    {grid['cells']} cell(s): "
+            f"fast {end_to_end['fast_seconds']:.2f}s, "
+            f"reference {end_to_end['reference_seconds']:.2f}s "
+            f"({end_to_end['speedup']:.2f}x), bit-identical: "
+            f"{end_to_end['bit_identical']}"
+        )
+        for cell in end_to_end["divergent_cells"]:
+            obslog.warn(f"divergent cell: {cell}")
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    obslog.info(f"microbench artifact: {args.out}")
+    if not payload_ok(payload):
+        obslog.warn("fast and reference kernels diverged; see the artifact")
+        return 1
+    return 0
+
+
 def cmd_lifetime(args) -> int:
     import dataclasses
 
@@ -731,6 +822,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "trace": cmd_trace,
         "check": cmd_check,
+        "microbench": cmd_microbench,
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,
     }

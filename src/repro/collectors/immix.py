@@ -234,7 +234,7 @@ class ImmixCollector:
             )
             if not placed:
                 for done in chunks:
-                    done.block.objects.remove(done)
+                    done.block.remove_object(done)
                     done.block = None
                     done.offset = None
                 return False
@@ -623,7 +623,9 @@ class ImmixCollector:
         The run-length histogram is the paper's fragmentation lens: as
         lines fail, contiguous free runs shorten and bump allocation
         degrades. Sampled once per collection, after the final
-        allocation-state rebuild.
+        allocation-state rebuild — whose ``free_line_count()`` probe
+        already primed each recycled block's run summary, so reading
+        ``line_summary().runs`` here is a cache hit, not a rescan.
         """
         histogram = tr.metrics.histogram(
             "repro_free_run_length_lines",
@@ -631,7 +633,7 @@ class ImmixCollector:
             buckets=FREE_RUN_BUCKETS,
         )
         for block in self._recycled:
-            for _start, length in block.free_runs():
+            for _start, length in block.line_summary().runs:
                 histogram.observe(length)
 
     def _rebuild_allocation_state(self, exclude_evacuating: bool) -> None:
@@ -664,7 +666,7 @@ class ImmixCollector:
                 if obj.pinned:
                     continue
                 old_offset = obj.offset
-                block.objects.remove(obj)
+                block.remove_object(obj)
                 obj.block = None
                 obj.offset = None
                 if self._place_copy(obj):
@@ -688,7 +690,7 @@ class ImmixCollector:
                 continue
             source = obj.block
             old_offset = obj.offset
-            source.objects.remove(obj)
+            source.remove_object(obj)
             obj.block = None
             obj.offset = None
             if self._place_copy(obj):

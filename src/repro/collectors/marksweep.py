@@ -273,8 +273,10 @@ class MarkSweepCollector:
         if block is None:
             return
         cls = size_class_for(obj.size)
-        block.objects.remove(obj)
+        # The freed cell address is read before remove_object so the
+        # free-list entry survives the placement teardown below.
         self._classes[cls].free_cells.append((block, obj.offset))
+        block.remove_object(obj)
         obj.block = None
         obj.offset = None
 
@@ -297,7 +299,7 @@ class MarkSweepCollector:
                     else:
                         obj.block = None
                         obj.offset = None
-                block.objects = survivors
+                block.replace_objects(survivors)
                 self.stats.cells_swept += self.geometry.block // cls
                 self.stats.blocks_swept += 1
                 if not survivors:

@@ -1,8 +1,26 @@
 """Heap substrate: objects, line tables, blocks, page supply, LOS."""
 
-from .block import Block, block_is_perfect, perfect_block
+from .block import (
+    Block,
+    block_is_perfect,
+    perfect_block,
+    sort_key_most_holes,
+    sorted_defrag_candidates,
+)
 from .large_object_space import LargeObjectSpace, Placement
-from .line_table import FAILED, FREE, LIVE, LIVE_PINNED, free_runs, state_name
+from .line_table import (
+    FAILED,
+    FREE,
+    LIVE,
+    LIVE_PINNED,
+    FreeRunSummary,
+    free_run_summary,
+    free_runs,
+    kernel_mode,
+    set_kernel_mode,
+    state_name,
+    use_reference_kernels,
+)
 from .object_model import (
     ALIGNMENT,
     HEADER_BYTES,
@@ -17,13 +35,20 @@ __all__ = [
     "Block",
     "block_is_perfect",
     "perfect_block",
+    "sort_key_most_holes",
+    "sorted_defrag_candidates",
     "LargeObjectSpace",
     "Placement",
     "FAILED",
     "FREE",
     "LIVE",
     "LIVE_PINNED",
+    "FreeRunSummary",
+    "free_run_summary",
     "free_runs",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_reference_kernels",
     "state_name",
     "ALIGNMENT",
     "HEADER_BYTES",

@@ -5,15 +5,35 @@ pages that need not be contiguous or perfect. The block carries the line
 mark table; failed PCM lines are seeded into it as FAILED Immix lines at
 construction — including the paper's *false failures*, where one failed
 64 B PCM line poisons a whole 128 B or 256 B Immix line.
+
+Hot-path accounting is cached behind two generation counters:
+
+* ``_line_gen`` advances whenever a line state mutates (failure seeding
+  or a sweep's mark rebuild). The :class:`~.line_table.FreeRunSummary`
+  — free runs, free line count, largest hole — is recomputed at most
+  once per generation, so the allocator's repeated ``free_runs()`` /
+  ``free_line_count()`` probes between mutations are dictionary-free
+  cache hits. Allocation itself (:meth:`Block.place`) deliberately does
+  *not* touch line states — the stock code recomputed runs from the
+  unchanged table after every placement, so keeping the cache live
+  across placements is exactly the original semantics, minus the scan.
+* ``_obj_gen`` advances whenever the object list changes; it guards a
+  sorted index over object extents so :meth:`objects_overlapping_line`
+  is a bisect instead of a full scan.
+
+``REPRO_KERNELS=reference`` (see :mod:`.line_table`) bypasses both
+caches and the vectorized sweep, restoring the original per-line loops
+for bit-identity comparison.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..hardware.geometry import Geometry
 from . import line_table
-from .line_table import FAILED, FREE, LIVE, LIVE_PINNED
+from .line_table import FAILED, FREE, LIVE, LIVE_PINNED, FreeRunSummary
 from .object_model import SimObject
 from .page_supply import HeapPage
 
@@ -32,6 +52,13 @@ class Block:
         "allocated_since_gc",
         "mark_conflicts",
         "aborted_evacuations",
+        "_line_gen",
+        "_summary",
+        "_summary_gen",
+        "_obj_gen",
+        "_extent_objs",
+        "_extent_starts",
+        "_extent_gen",
     )
 
     def __init__(self, virtual_index: int, pages: List[HeapPage], geometry: Geometry) -> None:
@@ -58,6 +85,13 @@ class Block:
         #: their old offset; they may legitimately overlap failed lines
         #: (the auditor tolerates exactly these).
         self.aborted_evacuations: Set[int] = set()
+        self._line_gen = 0
+        self._summary: Optional[FreeRunSummary] = None
+        self._summary_gen = -1
+        self._obj_gen = 0
+        self._extent_objs: List[SimObject] = []
+        self._extent_starts: List[int] = []
+        self._extent_gen = -1
         for slot, page in enumerate(pages):
             for offset in page.failed_offsets:
                 self._seed_failed_pcm_line(slot, offset)
@@ -71,6 +105,18 @@ class Block:
     def n_lines(self) -> int:
         return self.geometry.immix_lines_per_block
 
+    def touch_lines(self) -> None:
+        """Invalidate the free-run summary after a line-state mutation.
+
+        Internal mutators call this automatically; it is public for
+        tests and tooling that poke ``line_states`` directly.
+        """
+        self._line_gen += 1
+
+    def touch_objects(self) -> None:
+        """Invalidate the extent index after an object-list mutation."""
+        self._obj_gen += 1
+
     def _seed_failed_pcm_line(self, page_slot: int, pcm_offset: int) -> Tuple[int, bool]:
         """Mark the Immix line poisoned by a failed PCM line.
 
@@ -83,6 +129,7 @@ class Block:
         newly_failed = immix_line not in self.failed_lines
         self.failed_lines.add(immix_line)
         self.line_states[immix_line] = FAILED
+        self.touch_lines()
         return immix_line, newly_failed
 
     def record_dynamic_failure(self, page_slot: int, pcm_offset: int) -> Tuple[int, bool]:
@@ -102,11 +149,20 @@ class Block:
     # ------------------------------------------------------------------
     # Line accounting
     # ------------------------------------------------------------------
+    def line_summary(self) -> FreeRunSummary:
+        """Free runs + aggregates, cached until a line state mutates."""
+        if line_table.use_reference_kernels():
+            return line_table.free_run_summary(self.line_states)
+        if self._summary_gen != self._line_gen:
+            self._summary = line_table.free_run_summary(self.line_states)
+            self._summary_gen = self._line_gen
+        return self._summary  # type: ignore[return-value]
+
     def free_runs(self) -> List[Tuple[int, int]]:
-        return line_table.free_runs(self.line_states)
+        return self.line_summary().runs
 
     def free_line_count(self) -> int:
-        return line_table.count_state(self.line_states, FREE)
+        return self.line_summary().free_lines
 
     def failed_line_count(self) -> int:
         return len(self.failed_lines)
@@ -122,10 +178,10 @@ class Block:
         return not self.objects
 
     def largest_hole_bytes(self) -> int:
-        return line_table.largest_free_run(self.line_states) * self.geometry.immix_line
+        return self.line_summary().largest_run * self.geometry.immix_line
 
     def fragmentation_index(self) -> float:
-        return line_table.fragmentation_index(self.line_states)
+        return self.line_summary().fragmentation_index()
 
     # ------------------------------------------------------------------
     # Sweep support
@@ -137,7 +193,77 @@ class Block:
         (sticky nursery sweeps) objects whose sticky bit is set are
         implicitly live. Returns ``(live_lines, lines_scanned)`` for the
         time model.
+
+        The final per-line state follows the precedence FAILED >
+        LIVE_PINNED > LIVE > FREE, which is independent of object
+        visiting order — the fast kernel exploits that by slice-
+        assigning unpinned spans first, pinned spans second, and
+        re-stamping FAILED lines last, instead of resolving precedence
+        per line. Conflict recording is unchanged: a conflict is exactly
+        a survivor's span crossing a line in ``failed_lines``, reported
+        in object order with ascending lines.
         """
+        if line_table.use_reference_kernels():
+            return self._rebuild_line_marks_reference(epoch, keep_old)
+        states = self.line_states
+        n = self.n_lines
+        states[:] = bytes(n)
+        line_size = self.geometry.immix_line
+        failed = self.failed_lines
+        if failed:
+            failed_sorted = sorted(failed)
+            min_failed = failed_sorted[0]
+            max_failed = failed_sorted[-1]
+            n_failed = len(failed_sorted)
+        else:
+            failed_sorted = None
+            min_failed = max_failed = n_failed = 0
+        survivors: List[SimObject] = []
+        pinned_spans: List[Tuple[int, int]] = []
+        conflicts: List[Tuple[int, int]] = []
+        survive = survivors.append
+        conflict = conflicts.append
+        for obj in self.objects:
+            if obj.mark != epoch and not (keep_old and obj.old):
+                continue
+            survive(obj)
+            offset = obj.offset
+            first = offset // line_size
+            stop = (offset + obj.size - 1) // line_size + 1
+            if obj.pinned:
+                pinned_spans.append((first, stop))
+            elif stop - first == 1:
+                states[first] = 1
+            else:
+                states[first:stop] = b"\x01" * (stop - first)
+            if failed_sorted is not None and first <= max_failed and stop > min_failed:
+                # A FAILED mark is hardware truth; a survivor
+                # overlapping it (pinned, or an aborted evacuation)
+                # must never mask it as LIVE — that would let a later
+                # sweep hand the failed line back to the allocator.
+                # Record the conflict for the auditor.
+                i = bisect_left(failed_sorted, first)
+                while i < n_failed and failed_sorted[i] < stop:
+                    conflict((obj.oid, failed_sorted[i]))
+                    i += 1
+        for first, stop in pinned_spans:
+            if stop - first == 1:
+                states[first] = 2
+            else:
+                states[first:stop] = b"\x02" * (stop - first)
+        if failed_sorted is not None:
+            for line in failed_sorted:
+                states[line] = FAILED
+        self.mark_conflicts = conflicts
+        self.objects = survivors
+        self.allocated_since_gc = False
+        self.touch_lines()
+        self.touch_objects()
+        live_lines = states.count(LIVE) + states.count(LIVE_PINNED)
+        return live_lines, n
+
+    def _rebuild_line_marks_reference(self, epoch: int, keep_old: bool = False) -> Tuple[int, int]:
+        """The original per-line sweep, retained for bit-identity runs."""
         states = self.line_states
         for line in range(self.n_lines):
             states[line] = FREE
@@ -153,11 +279,6 @@ class Block:
             state = LIVE_PINNED if obj.pinned else LIVE
             for line in obj.line_span(line_size):
                 if states[line] == FAILED:
-                    # A FAILED mark is hardware truth; a survivor
-                    # overlapping it (pinned, or an aborted evacuation)
-                    # must never mask it as LIVE — that would let a
-                    # later sweep hand the failed line back to the
-                    # allocator. Record the conflict for the auditor.
                     conflicts.append((obj.oid, line))
                     continue
                 if states[line] != LIVE_PINNED:
@@ -165,15 +286,65 @@ class Block:
         self.mark_conflicts = conflicts
         self.objects = survivors
         self.allocated_since_gc = False
+        self.touch_lines()
+        self.touch_objects()
         live_lines = line_table.count_state(states, LIVE) + line_table.count_state(
             states, LIVE_PINNED
         )
         return live_lines, self.n_lines
 
-    def objects_overlapping_line(self, immix_line: int) -> List[SimObject]:
-        line_size = self.geometry.immix_line
-        return [obj for obj in self.objects if immix_line in obj.line_span(line_size)]
+    # ------------------------------------------------------------------
+    # Object extent index
+    # ------------------------------------------------------------------
+    def extent_index(self) -> Tuple[List[SimObject], List[int]]:
+        """Objects sorted by start offset, plus the parallel offset list.
 
+        Rebuilt lazily when the object list has changed since the last
+        query; consumers bisect into the offset list. Sorting is by key
+        (never by comparing objects), so a corrupted heap with two
+        objects at one offset still indexes — the auditor relies on
+        that to *report* the overlap rather than crash on it. Objects
+        with no offset (mid-teardown) are excluded.
+        """
+        if self._extent_gen != self._obj_gen:
+            objs = sorted(
+                (o for o in self.objects if o.offset is not None),
+                key=lambda o: o.offset,
+            )
+            self._extent_objs = objs
+            self._extent_starts = [o.offset for o in objs]
+            self._extent_gen = self._obj_gen
+        return self._extent_objs, self._extent_starts
+
+    def objects_overlapping_line(self, immix_line: int) -> List[SimObject]:
+        """Live objects whose extent crosses ``immix_line``.
+
+        Fast kernel: bisect into the extent index. Objects starting
+        inside the line overlap it by definition; by the no-overlap
+        invariant at most the single predecessor can span into the line
+        from the left, so one extra check suffices.
+        """
+        line_size = self.geometry.immix_line
+        if line_table.use_reference_kernels():
+            return [obj for obj in self.objects if immix_line in obj.line_span(line_size)]
+        line_start = immix_line * line_size
+        line_end = line_start + line_size
+        objs, starts = self.extent_index()
+        lo = bisect_left(starts, line_start)
+        hits: List[SimObject] = []
+        if lo > 0:
+            prev = objs[lo - 1]
+            if prev.offset + prev.size > line_start:
+                hits.append(prev)
+        for i in range(lo, len(objs)):
+            if starts[i] >= line_end:
+                break
+            hits.append(objs[i])
+        return hits
+
+    # ------------------------------------------------------------------
+    # Object list mutation
+    # ------------------------------------------------------------------
     def place(self, obj: SimObject, offset: int) -> None:
         """Bind an object to this block at ``offset`` (allocator use)."""
         obj.block = self
@@ -181,6 +352,17 @@ class Block:
         obj.los_placement = None
         self.objects.append(obj)
         self.allocated_since_gc = True
+        self.touch_objects()
+
+    def remove_object(self, obj: SimObject) -> None:
+        """Unlink ``obj`` (evacuation, promotion, or cell free)."""
+        self.objects.remove(obj)
+        self.touch_objects()
+
+    def replace_objects(self, survivors: List[SimObject]) -> None:
+        """Swap in a new object list wholesale (mark-sweep's sweep)."""
+        self.objects = survivors
+        self.touch_objects()
 
     def page_slot_of_line(self, immix_line: int) -> int:
         return immix_line * self.geometry.immix_line // self.geometry.page
@@ -204,5 +386,24 @@ def block_is_perfect(block: Block) -> bool:
 
 
 def sort_key_most_holes(block: Block) -> int:
-    """Defrag candidate ordering: most fragmented blocks first."""
+    """Defrag candidate ordering: most fragmented blocks first.
+
+    Reads the cached free-line count, so sorting a candidate list costs
+    one summary per block, not one table scan per comparison.
+    """
     return -(block.free_line_count() + block.failed_line_count())
+
+
+def sorted_defrag_candidates(blocks: Sequence[Block]) -> List[Block]:
+    """Candidates ordered most-holes-first with the key computed once.
+
+    Decorate-sort-undecorate over ``(key, position)`` pairs: each
+    block's hole count is evaluated exactly once (a cache hit when the
+    summary is current), and ties keep their input order, matching
+    ``sorted(blocks, key=sort_key_most_holes)``.
+    """
+    decorated = sorted(
+        (sort_key_most_holes(block), position)
+        for position, block in enumerate(blocks)
+    )
+    return [blocks[position] for _key, position in decorated]

@@ -6,11 +6,30 @@ fourth state, FAILED, "without space overhead" because line marks are
 bytes with spare encodings (paper section 4.2). The bump allocator never
 looks at states directly — it consumes *free runs*, the maximal spans of
 contiguous FREE lines computed here.
+
+Two kernel implementations live side by side:
+
+* the **fast** kernels scan line tables with C-speed byte-string
+  primitives (``bytes.translate`` to collapse states to a binary
+  free/unavailable mask, then ``find`` to jump from run edge to run
+  edge) — the number of Python-level steps is proportional to the
+  number of *runs*, not the number of *lines*;
+* the **reference** kernels are the original per-line Python loops,
+  kept verbatim for property testing and for bit-identity runs.
+
+This module also hosts the process-wide kernel-mode switch consulted by
+:class:`repro.heap.block.Block` and the OS failure table: ``fast`` (the
+default) uses the vectorized kernels plus generation-invalidated
+caches, ``reference`` recomputes everything per query with the naive
+loops. ``REPRO_KERNELS=reference`` selects it from the environment; the
+``repro microbench`` harness toggles it in-process to prove the two
+paths produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import os
+from typing import List, NamedTuple, Tuple
 
 #: Line states (stored one byte per line, as in MMTk's line mark table).
 FREE = 0
@@ -20,18 +39,82 @@ FAILED = 3
 
 _STATE_NAMES = {FREE: "free", LIVE: "live", LIVE_PINNED: "pinned", FAILED: "failed"}
 
+#: ``bytes.translate`` table collapsing line states to a binary mask:
+#: FREE -> 0x00, everything else -> 0x01.
+_FREE_MASK_TABLE = bytes(0 if state == FREE else 1 for state in range(256))
+
+#: Kernel implementations selectable at runtime (see module docstring).
+KERNEL_MODES = ("fast", "reference")
+
+_kernel_mode = os.environ.get("REPRO_KERNELS", "fast")
+if _kernel_mode not in KERNEL_MODES:
+    raise ValueError(
+        f"REPRO_KERNELS={_kernel_mode!r} is not one of {KERNEL_MODES}"
+    )
+
+
+def kernel_mode() -> str:
+    """The active kernel implementation: ``fast`` or ``reference``."""
+    return _kernel_mode
+
+
+def use_reference_kernels() -> bool:
+    return _kernel_mode == "reference"
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the kernel implementation; returns the previous mode.
+
+    ``reference`` also disables the per-block summary caches and the
+    failure table's bitmap caches, reproducing the recompute-on-query
+    behaviour the fast kernels replaced — that is what makes
+    fast-vs-reference end-to-end comparisons meaningful.
+    """
+    global _kernel_mode
+    if mode not in KERNEL_MODES:
+        raise ValueError(f"kernel mode {mode!r} is not one of {KERNEL_MODES}")
+    previous = _kernel_mode
+    _kernel_mode = mode
+    return previous
+
 
 def state_name(state: int) -> str:
     return _STATE_NAMES.get(state, f"?{state}")
 
 
+# ----------------------------------------------------------------------
+# Free-run scanning
+# ----------------------------------------------------------------------
 def free_runs(line_states: bytearray) -> List[Tuple[int, int]]:
     """Maximal runs of FREE lines as ``(first_line, n_lines)`` pairs.
 
     This is the structure the bump-pointer allocator consumes: it sets
     its cursor to the run start and its limit to the run end, skipping
     over live, pinned, and failed lines in one step.
+
+    Fast kernel: the states collapse to a 0/1 mask via ``translate``,
+    then ``find`` locates each run edge at C speed, so the Python loop
+    executes once per run rather than once per line.
     """
+    if _kernel_mode == "reference":
+        return free_runs_reference(line_states)
+    mask = line_states.translate(_FREE_MASK_TABLE)
+    runs: List[Tuple[int, int]] = []
+    n = len(mask)
+    find = mask.find
+    start = find(0)
+    while start != -1:
+        end = find(1, start + 1)
+        if end == -1:
+            runs.append((start, n - start))
+            break
+        runs.append((start, end - start))
+        start = find(0, end + 1)
+    return runs
+
+
+def free_runs_reference(line_states: bytearray) -> List[Tuple[int, int]]:
+    """The original per-line scan, retained for property testing."""
     runs: List[Tuple[int, int]] = []
     start = None
     for index, state in enumerate(line_states):
@@ -46,10 +129,57 @@ def free_runs(line_states: bytearray) -> List[Tuple[int, int]]:
     return runs
 
 
+class FreeRunSummary(NamedTuple):
+    """Free runs plus the aggregates every consumer wants, in one pass.
+
+    ``free_lines`` equals ``count_state(states, FREE)`` because the runs
+    partition the free lines (property-tested): the fast kernel counts
+    the table directly at C speed, the reference path accumulates run
+    lengths — bit-identical either way.
+    """
+
+    runs: List[Tuple[int, int]]
+    free_lines: int
+    largest_run: int
+
+    def fragmentation_index(self) -> float:
+        if self.free_lines == 0:
+            return 0.0
+        return 1.0 - self.largest_run / self.free_lines
+
+
+def free_run_summary(line_states: bytearray) -> FreeRunSummary:
+    """Runs, total free lines, and largest run for one table."""
+    if _kernel_mode == "reference":
+        runs = free_runs_reference(line_states)
+        free_lines = 0
+        largest = 0
+        for _start, length in runs:
+            free_lines += length
+            if length > largest:
+                largest = length
+        return FreeRunSummary(runs, free_lines, largest)
+    runs = free_runs(line_states)
+    if not runs:
+        return FreeRunSummary(runs, 0, 0)
+    largest = 0
+    for run in runs:
+        if run[1] > largest:
+            largest = run[1]
+    return FreeRunSummary(runs, line_states.count(FREE), largest)
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
 def largest_free_run(line_states: bytearray) -> int:
     """Length in lines of the largest contiguous free span."""
+    return free_run_summary(line_states).largest_run
+
+
+def largest_free_run_reference(line_states: bytearray) -> int:
     best = 0
-    for _, length in free_runs(line_states):
+    for _, length in free_runs_reference(line_states):
         best = max(best, length)
     return best
 
@@ -62,8 +192,24 @@ def fragmentation_index(line_states: bytearray) -> float:
     """How chopped-up the free space is: 0 = one run, ->1 = maximally split.
 
     Defined as ``1 - largest_run / total_free``; 0.0 when no free lines.
+    The fast path skips the :class:`FreeRunSummary` construction — same
+    arithmetic, so the result is bit-identical to the reference.
     """
+    if _kernel_mode == "reference":
+        return fragmentation_index_reference(line_states)
+    runs = free_runs(line_states)
+    if not runs:
+        return 0.0
+    largest = 0
+    for run in runs:
+        if run[1] > largest:
+            largest = run[1]
+    return 1.0 - largest / line_states.count(FREE)
+
+
+def fragmentation_index_reference(line_states: bytearray) -> float:
+    """The original double-scan formulation (count, then run list)."""
     total_free = count_state(line_states, FREE)
     if total_free == 0:
         return 0.0
-    return 1.0 - largest_free_run(line_states) / total_free
+    return 1.0 - largest_free_run_reference(line_states) / total_free

@@ -4,13 +4,27 @@ The OS keeps one 64-bit bitmap per PCM page (for 4 KB pages of 64 B
 lines) in a DRAM-resident table — about 1.6 % of PCM capacity
 uncompressed. On clean shutdown the table is persisted; after an
 abnormal shutdown it can be rebuilt by scanning the memory module.
+
+Queries are cached and bit-twiddled rather than looped: the decoded
+offset set per page is memoized until that page's bitmap changes, the
+module-wide failed-line count is maintained incrementally on every
+``record_failure``, and run counting for the compression estimate uses
+a transition-popcount identity instead of walking all 64 bit positions.
+``REPRO_KERNELS=reference`` (:mod:`repro.heap.line_table`) restores the
+original per-bit loops for bit-identity comparison.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, FrozenSet, Iterable, List, Set
 
 from ..hardware.geometry import Geometry
+from ..heap import line_table
+
+
+def _popcount(bits: int) -> int:
+    # int.bit_count() needs 3.10; CI still runs 3.9.
+    return bin(bits).count("1")
 
 
 class FailureTable:
@@ -22,13 +36,19 @@ class FailureTable:
         self.n_pages = n_pages
         self.geometry = geometry
         self._bitmaps: Dict[int, int] = {}
+        self._offsets_cache: Dict[int, FrozenSet[int]] = {}
+        self._failed_count = 0
 
     # ------------------------------------------------------------------
     def record_failure(self, page_index: int, line_offset: int) -> bool:
         """Mark a line failed; returns True if the page was perfect before."""
         self._check(page_index, line_offset)
         old = self._bitmaps.get(page_index, 0)
-        self._bitmaps[page_index] = old | (1 << line_offset)
+        new = old | (1 << line_offset)
+        if new != old:
+            self._bitmaps[page_index] = new
+            self._offsets_cache.pop(page_index, None)
+            self._failed_count += 1
         return old == 0
 
     def record_global_line(self, global_line: int) -> bool:
@@ -40,9 +60,30 @@ class FailureTable:
         self._check(page_index, 0)
         return self._bitmaps.get(page_index, 0)
 
-    def failed_offsets(self, page_index: int) -> Set[int]:
+    def failed_offsets(self, page_index: int) -> FrozenSet[int]:
+        """Decoded failed-line offsets of a page (memoized per bitmap).
+
+        Fast kernel: extract set bits directly (``bitmap & -bitmap``
+        isolates the lowest one), so decoding costs one step per failure
+        instead of one per bit position; the frozenset is cached until
+        the page's bitmap changes. Callers only read the result.
+        """
         bitmap = self.bitmap(page_index)
-        return {i for i in range(self.geometry.lines_per_page) if bitmap >> i & 1}
+        if line_table.use_reference_kernels():
+            return frozenset(
+                i for i in range(self.geometry.lines_per_page) if bitmap >> i & 1
+            )
+        cached = self._offsets_cache.get(page_index)
+        if cached is None:
+            offsets = []
+            bits = bitmap
+            while bits:
+                lsb = bits & -bits
+                offsets.append(lsb.bit_length() - 1)
+                bits ^= lsb
+            cached = frozenset(offsets)
+            self._offsets_cache[page_index] = cached
+        return cached
 
     def is_perfect(self, page_index: int) -> bool:
         return self.bitmap(page_index) == 0
@@ -51,7 +92,9 @@ class FailureTable:
         return sorted(page for page, bits in self._bitmaps.items() if bits)
 
     def failed_line_count(self) -> int:
-        return sum(bin(bits).count("1") for bits in self._bitmaps.values())
+        if line_table.use_reference_kernels():
+            return sum(_popcount(bits) for bits in self._bitmaps.values())
+        return self._failed_count
 
     # ------------------------------------------------------------------
     # Persistence / rebuild (section 3.2.1)
@@ -68,6 +111,7 @@ class FailureTable:
         for page, bits in snapshot.items():
             table._check(page, 0)
             table._bitmaps[page] = bits
+            table._failed_count += _popcount(bits)
         return table
 
     @classmethod
@@ -94,18 +138,29 @@ class FailureTable:
         perfect pages are skipped entirely; each imperfect page costs a
         2-byte page delta plus an RLE bitmap of its 64 line bits (one
         byte per run, up to 8 bytes, whichever is smaller than raw).
+
+        Fast kernel: the run count of the bit sequence b0..b(L-1) is one
+        plus its number of adjacent transitions, and each transition is
+        a set bit of ``bitmap ^ (bitmap >> 1)`` below position L-1 — so
+        a popcount replaces the per-bit scan.
         """
+        per_page = self.geometry.lines_per_page
+        reference = line_table.use_reference_kernels()
+        transition_mask = (1 << (per_page - 1)) - 1
         total = 0
         for page in self.imperfect_pages():
             bitmap = self._bitmaps[page]
-            runs = 0
-            previous = None
-            for i in range(self.geometry.lines_per_page):
-                bit = bitmap >> i & 1
-                if bit != previous:
-                    runs += 1
-                    previous = bit
-            total += 2 + min(runs, self.geometry.lines_per_page // 8)
+            if reference:
+                runs = 0
+                previous = None
+                for i in range(per_page):
+                    bit = bitmap >> i & 1
+                    if bit != previous:
+                        runs += 1
+                        previous = bit
+            else:
+                runs = 1 + _popcount((bitmap ^ (bitmap >> 1)) & transition_mask)
+            total += 2 + min(runs, per_page // 8)
         return total
 
     def compression_ratio(self) -> float:

@@ -71,7 +71,14 @@ def code_fingerprint() -> str:
     """SHA-256 over every ``repro`` source file (order-independent).
 
     Any edit to the simulator invalidates previously cached results;
-    the hash is computed once per process.
+    the hash is computed once per process. The hot-path kernels
+    (``repro/heap/line_table.py``, ``repro/heap/block.py``, the OS
+    failure table) are ordinary package sources, so editing a kernel
+    rolls every key — no stale cross-version hits. The *runtime*
+    ``REPRO_KERNELS`` fast/reference switch deliberately does NOT enter
+    the key: both paths are property-tested and CI-enforced to produce
+    bit-identical ``RunResult`` payloads, so sharing entries between
+    them is correct.
     """
     package_root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()

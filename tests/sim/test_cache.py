@@ -60,6 +60,34 @@ class TestCacheKey:
         int(first, 16)
         assert code_fingerprint() is first
 
+    def test_kernel_sources_roll_the_fingerprint(self):
+        # Recompute the digest with each hot-path kernel module left
+        # out: the result must differ from the real fingerprint, which
+        # proves an edit to any kernel rolls every cache key (no stale
+        # cross-version hits, per the code_fingerprint docstring).
+        import hashlib
+        from pathlib import Path
+
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+
+        def digest(skip=None):
+            d = hashlib.sha256()
+            for path in sorted(package_root.rglob("*.py")):
+                if skip is not None and path.name == skip:
+                    continue
+                d.update(str(path.relative_to(package_root)).encode())
+                d.update(b"\0")
+                d.update(path.read_bytes())
+                d.update(b"\0")
+            return d.hexdigest()
+
+        assert digest() == code_fingerprint()
+        for kernel in ("line_table.py", "block.py", "failure_table.py",
+                       "microbench.py"):
+            assert digest(skip=kernel) != code_fingerprint()
+
 
 class TestResultCache:
     def test_miss_then_hit_round_trip(self, tmp_path):
