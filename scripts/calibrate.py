@@ -111,9 +111,15 @@ def evaluate(rows, model: CostModel, seeds):
 
 def _time(model: CostModel, result):
     # Recompute from counters so cost models can be swapped offline.
+    import dataclasses
+
     from repro.collectors.stats import GcStats
 
-    stats = GcStats(**{k: v for k, v in result.stats.items()})
+    # result.stats also carries derived summary keys (live-bytes series
+    # percentiles etc.) that are not GcStats fields; keep only the
+    # counters the cost model consumes.
+    fields = {f.name for f in dataclasses.fields(GcStats)}
+    stats = GcStats(**{k: v for k, v in result.stats.items() if k in fields})
     return model.total_time(stats)
 
 

@@ -15,8 +15,20 @@ The ``figures`` and ``sweep`` commands accept ``--jobs`` (fan the grid
 out over worker processes; results are bit-identical to serial) and
 ``--cache-dir`` (persist completed cells on disk so re-runs are nearly
 free). ``sweep`` additionally writes a ``BENCH_sweep.json`` artifact
-with per-cell wall times, cache hit/miss counts, and worker
-utilization.
+with per-cell wall times, cache hit/miss counts, worker utilization,
+and a deterministic ``results`` section.
+
+Sweeps are fault tolerant and resumable: ``--retries``/``--timeout``
+(or an armed ``REPRO_CHAOS``) route cells through the fault-tolerant
+executor — crashed or hung workers are retried with backoff, and cells
+that keep failing are quarantined (exit code 3, partial artifact)
+instead of aborting the sweep. ``sweep --resume`` restarts a killed
+sweep against the same ``--cache-dir``: completed cells replay from
+the cache and only the remainder re-executes. ``bench`` can snapshot
+the whole simulated machine every N driver steps
+(``--checkpoint-every``) and continue from a snapshot
+(``--resume-from``) with bit-identical results; ``lifetime`` does the
+same at iteration granularity.
 
 Output streams follow one convention (see :mod:`repro.obs.log`):
 stdout carries primary output — human reports (suppressed by ``-q``)
@@ -50,14 +62,29 @@ from dataclasses import replace
 from typing import List, Optional
 
 from .check.audit import VERIFY_LEVELS
+from .errors import SnapshotError
 from .faults.generator import FailureModel
 from .obs import log as obslog
-from .obs.metrics import MetricsRegistry
+from .obs.metrics import (
+    SWEEP_QUARANTINED_CELLS_TOTAL,
+    SWEEP_RETRIES_TOTAL,
+    SWEEP_TIMEOUTS_TOTAL,
+    SWEEP_WORKER_CRASHES_TOTAL,
+    MetricsRegistry,
+)
 from .obs.trace import DEFAULT_CAPACITY, Tracer
-from .sim.cache import ResultCache
+from .sim.cache import ResultCache, result_to_dict
+from .sim.chaos import ChaosConfig
 from .sim.experiment import ExperimentRunner
-from .sim.machine import RunConfig, run_benchmark, run_wearing_benchmark
+from .sim.ftexec import RetryPolicy
+from .sim.machine import (
+    RunConfig,
+    resume_benchmark,
+    run_benchmark,
+    run_wearing_benchmark,
+)
 from .sim.parallel import run_grid
+from .sim.snapshot import CheckpointPolicy
 from .workloads.dacapo import DACAPO
 
 #: figure name -> callable(runner, scale) -> list of FigureResult
@@ -119,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_execution_arguments(figures)
+    _add_fault_tolerance_arguments(figures)
     _add_observability_arguments(figures, directory=True)
     figures.add_argument(
         "--sweep-json",
@@ -148,7 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_sweep.json",
         help="sweep artifact path (default: %(default)s)",
     )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart an interrupted sweep: replay completed cells from "
+        "--cache-dir (required) and execute only the remainder",
+    )
     _add_execution_arguments(sweep)
+    _add_fault_tolerance_arguments(sweep)
     _add_observability_arguments(sweep, directory=True)
 
     bench = sub.add_parser("bench", help="run one workload configuration")
@@ -177,6 +212,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LEVEL",
         help="cross-layer heap auditing: off, gc, upcall, or paranoid "
         "(default: the REPRO_VERIFY environment variable, else off)",
+    )
+    bench.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default="BENCH_checkpoint.snap",
+        help="machine-snapshot path for --checkpoint-every "
+        "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="snapshot the whole simulated machine every N driver steps "
+        "(0 = off); the snapshot resumes with --resume-from",
+    )
+    bench.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        default=None,
+        help="continue an interrupted run from a checkpoint snapshot; "
+        "the configuration travels inside the snapshot and the result "
+        "is bit-identical to an uninterrupted run",
     )
     _add_observability_arguments(bench, directory=False)
 
@@ -295,6 +353,27 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--workload", default="avrora")
     lifetime.add_argument("--iterations", type=int, default=12)
     lifetime.add_argument("--endurance", type=float, default=40.0)
+    lifetime.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default="LIFETIME_checkpoint.snap",
+        help="snapshot path for --checkpoint-every (default: %(default)s)",
+    )
+    lifetime.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="ITERS",
+        help="snapshot the aging module every N completed iterations "
+        "(0 = off); not supported by the 'retire' strategy",
+    )
+    lifetime.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="continue an aging study from a lifetime snapshot (pass "
+        "the same strategy/workload/endurance arguments)",
+    )
 
     sub.add_parser("workloads", help="list workloads")
     return parser
@@ -321,6 +400,81 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache-dir: neither read nor write the disk cache",
     )
+
+
+def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared fault-tolerant-executor knobs for grid-running subcommands.
+
+    Any of these (or an armed ``REPRO_CHAOS``) routes uncached cells
+    through :mod:`repro.sim.ftexec` instead of the plain pool.
+    """
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per cell before quarantine (default: "
+        f"{RetryPolicy().max_attempts} once fault tolerance is engaged; "
+        "1 = quarantine on first failure)",
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay before the first retry; doubles per attempt "
+        f"with deterministic jitter (default: {RetryPolicy().base_delay_s:g})",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any cell attempt running longer than this",
+    )
+
+
+def _build_retry_policy(args) -> Optional[RetryPolicy]:
+    """The executor policy implied by the flags, or None (plain pool).
+
+    An armed ``REPRO_CHAOS`` also engages the executor: injected worker
+    deaths would hang or abort a plain ``multiprocessing.Pool``.
+    """
+    chaos_armed = ChaosConfig.from_env() is not None
+    if args.retries is None and args.retry_delay is None and not (
+        args.timeout is not None or chaos_armed
+    ):
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_attempts=(
+            args.retries if args.retries is not None else defaults.max_attempts
+        ),
+        base_delay_s=(
+            args.retry_delay
+            if args.retry_delay is not None
+            else defaults.base_delay_s
+        ),
+    )
+
+
+def _sweep_metrics_registry(stats) -> MetricsRegistry:
+    """Executor counters as metrics (the untraced sweep/figures path)."""
+    registry = MetricsRegistry()
+    report = stats.fault_tolerance
+    registry.counter(
+        SWEEP_RETRIES_TOTAL, "cell attempts retried after a failure"
+    ).inc(report.retries)
+    registry.counter(
+        SWEEP_TIMEOUTS_TOTAL, "cell attempts killed for overrunning --timeout"
+    ).inc(report.timeouts)
+    registry.counter(
+        SWEEP_WORKER_CRASHES_TOTAL, "worker processes that died mid-cell"
+    ).inc(report.worker_crashes)
+    registry.counter(
+        SWEEP_QUARANTINED_CELLS_TOTAL, "cells abandoned after exhausting retries"
+    ).inc(len(report.quarantined))
+    return registry
 
 
 def _add_observability_arguments(
@@ -357,7 +511,13 @@ def _add_observability_arguments(
 def _build_cache(args) -> Optional[ResultCache]:
     if args.no_cache or not args.cache_dir:
         return None
-    return ResultCache(args.cache_dir)
+    cache = ResultCache(args.cache_dir)
+    # Writers killed mid-publish (chaos, OOM-killer, a yanked node) can
+    # only leak unrenamed *.tmp files; reclaim them on startup.
+    removed = cache.sweep_orphans()
+    if removed:
+        obslog.debug(f"cache: removed {removed} orphaned temp file(s)")
+    return cache
 
 
 def _trace_slug(config: RunConfig) -> str:
@@ -458,6 +618,8 @@ def cmd_figures(args) -> int:
         jobs=jobs,
         tracer_factory=tracer_factory,
         trace_sink=trace_sink,
+        retry=_build_retry_policy(args),
+        timeout_s=args.timeout,
     )
     if args.json:
         payload = {
@@ -517,13 +679,36 @@ def cmd_sweep(args) -> int:
         for heap in args.heaps
         for seed in args.seeds
     ]
+    if args.resume and (args.no_cache or not args.cache_dir):
+        obslog.warn(
+            "--resume replays completed cells from the persistent cache; "
+            "pass --cache-dir (without --no-cache)"
+        )
+        return 2
     if args.trace:
+        if args.resume or _build_retry_policy(args) is not None:
+            obslog.warn(
+                "--trace runs serially in-process; ignoring "
+                "--resume/--retries/--retry-delay/--timeout"
+            )
         results, stats = _run_traced_sweep(args, grid)
     else:
         cache = _build_cache(args)
-        results, stats = run_grid(grid, jobs=args.jobs, cache=cache)
+        results, stats = run_grid(
+            grid,
+            jobs=args.jobs,
+            cache=cache,
+            retry=_build_retry_policy(args),
+            timeout_s=args.timeout,
+            chaos=ChaosConfig.from_env(),
+        )
+        if args.resume:
+            obslog.info(
+                f"resume: {stats.cache_hits} of {len(grid)} cell(s) "
+                f"replayed from {args.cache_dir}"
+            )
         if args.metrics_out:
-            obslog.warn("--metrics-out needs --trace on sweep; nothing written")
+            _write_metrics(_sweep_metrics_registry(stats), args.metrics_out)
     obslog.out(f"{'workload':13s} {'rate':>5s} {'heap':>5s} {'seed':>4s} "
                f"{'status':>7s} {'time(ms)':>10s}")
     for result in results:
@@ -533,8 +718,20 @@ def cmd_sweep(args) -> int:
         obslog.out(f"{config.workload:13s} {config.failure_model.rate:5.0%} "
                    f"{config.heap_multiplier:5.2g} {config.seed:4d} "
                    f"{status:>7s} {time_ms}")
-    _write_sweep_artifact(args.out, stats.to_dict())
-    return 0
+    for cell in stats.fault_tolerance.quarantined:
+        obslog.warn(
+            f"quarantined: {cell.workload} {cell.description} after "
+            f"{cell.attempts} attempt(s): {'; '.join(cell.failures)}"
+        )
+    payload = stats.to_dict()
+    # Deterministic per-cell results (input order, quarantined cells
+    # absent): this is the section the chaos-smoke CI job compares
+    # between a disturbed and an undisturbed sweep.
+    payload["results"] = [result_to_dict(result) for result in results]
+    _write_sweep_artifact(args.out, payload)
+    # Exit 3 = partial results: the sweep survived, but some cells
+    # exhausted their retries and are missing from the artifact.
+    return 3 if stats.fault_tolerance.quarantined else 0
 
 
 def _run_traced_sweep(args, grid: List[RunConfig]):
@@ -585,31 +782,51 @@ def _run_traced_sweep(args, grid: List[RunConfig]):
 
 
 def cmd_bench(args) -> int:
-    config = RunConfig(
-        workload=args.workload,
-        heap_multiplier=args.heap,
-        collector=args.collector,
-        failure_model=FailureModel(rate=args.rate, hw_region_pages=args.clustering),
-        immix_line=args.line,
-        compensate=not args.no_compensate,
-        arraylets=args.arraylets,
-        seed=args.seed,
-        scale=args.scale,
-    )
     registry = None
     tracer = None
     if args.trace or args.metrics_out:
         registry = MetricsRegistry()
         tracer = Tracer(metrics=registry)
-    result = run_benchmark(config, verify=args.verify_heap, tracer=tracer)
+    checkpoint = None
+    if args.checkpoint_every > 0:
+        checkpoint = CheckpointPolicy(
+            args.checkpoint, every_steps=args.checkpoint_every
+        )
+    if args.resume_from:
+        # The snapshot carries the RunConfig; flags describing the run
+        # shape are ignored so the continuation cannot diverge.
+        if args.verify_heap:
+            obslog.warn("--verify-heap does not apply when resuming; ignored")
+        result = resume_benchmark(
+            args.resume_from, tracer=tracer, checkpoint=checkpoint
+        )
+        config = result.config
+    else:
+        config = RunConfig(
+            workload=args.workload,
+            heap_multiplier=args.heap,
+            collector=args.collector,
+            failure_model=FailureModel(
+                rate=args.rate, hw_region_pages=args.clustering
+            ),
+            immix_line=args.line,
+            compensate=not args.no_compensate,
+            arraylets=args.arraylets,
+            seed=args.seed,
+            scale=args.scale,
+        )
+        result = run_benchmark(
+            config, verify=args.verify_heap, tracer=tracer, checkpoint=checkpoint
+        )
     # The baseline exists only for the slowdown ratio; it is never
     # traced, so the trace holds exactly the measured run's events.
     baseline = run_benchmark(
         replace(config, failure_model=FailureModel(), compensate=True)
     )
-    obslog.out(f"workload      {args.workload}")
+    obslog.out(f"workload      {config.workload}")
     obslog.out(f"configuration {config.failure_model.describe()}, "
-               f"L{args.line}, {args.collector}, heap {args.heap:g}x min")
+               f"L{config.immix_line}, {config.collector}, "
+               f"heap {config.heap_multiplier:g}x min")
     obslog.out(f"status        {'completed' if result.completed else 'DNF: ' + result.failure_note}")
     if result.completed:
         obslog.out(f"time          {result.time_ms:.1f} simulated ms "
@@ -627,6 +844,11 @@ def cmd_bench(args) -> int:
             result.phase_breakdown, result.time_units
         ):
             obslog.out(line)
+    if checkpoint is not None and checkpoint.emitted:
+        obslog.info(
+            f"checkpoints: {checkpoint.emitted} snapshot(s), last at "
+            f"{args.checkpoint} (resume with --resume-from)"
+        )
     if args.trace:
         from .obs.export import validate_chrome_trace, write_chrome_trace
 
@@ -781,7 +1003,18 @@ def cmd_lifetime(args) -> int:
     spec = dataclasses.replace(
         spec, total_alloc_bytes=min(spec.total_alloc_bytes, 1_500_000)
     )
+    checkpoint = None
+    if args.checkpoint_every > 0:
+        checkpoint = CheckpointPolicy(
+            args.checkpoint, every_steps=args.checkpoint_every
+        )
     if args.strategy == "retire":
+        if checkpoint is not None or args.resume:
+            obslog.warn(
+                "--checkpoint-every/--resume apply to the failure-aware "
+                "strategies only, not 'retire'"
+            )
+            return 2
         result = retire_on_first_failure_lifetime(
             spec, max_iterations=args.iterations, endurance_mean_writes=args.endurance
         )
@@ -796,6 +1029,13 @@ def cmd_lifetime(args) -> int:
             ),
             max_iterations=args.iterations,
             endurance_mean_writes=args.endurance,
+            checkpoint=checkpoint,
+            resume_from=args.resume,
+        )
+    if checkpoint is not None and checkpoint.emitted:
+        obslog.info(
+            f"checkpoints: {checkpoint.emitted} snapshot(s), last at "
+            f"{args.checkpoint} (resume with --resume)"
         )
     obslog.out(result.describe())
     for record in result.records:
@@ -828,6 +1068,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except SnapshotError as exc:
+        # Unreadable/corrupt/stale checkpoint files are usage errors
+        # (bad --resume-from path, snapshot from edited sources), not
+        # crashes worth a traceback.
+        obslog.warn(f"snapshot: {exc}")
+        return 2
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (head).
         sys.stderr.close()

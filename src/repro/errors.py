@@ -43,6 +43,26 @@ class PinnedObjectError(ReproError):
     """An operation tried to move a pinned object."""
 
 
+class SnapshotError(ReproError):
+    """A machine snapshot cannot be restored.
+
+    Raised for corrupt or truncated snapshot files, integrity-hash
+    mismatches, unknown envelope versions, and snapshots taken by a
+    different simulator version (the code fingerprint baked into every
+    snapshot must match the running sources — resuming across code
+    changes would silently break the bit-identity guarantee).
+    """
+
+
+class ChaosError(ReproError):
+    """A failure injected by the chaos harness (never a real bug).
+
+    Raised inside sweep workers when ``REPRO_CHAOS`` (or an explicit
+    :class:`repro.sim.chaos.ChaosConfig`) injects an exception-mode
+    fault; the fault-tolerant executor is expected to retry the cell.
+    """
+
+
 class HeapAuditError(ReproError):
     """The cross-layer heap auditor found an invariant violation.
 

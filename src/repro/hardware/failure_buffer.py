@@ -39,6 +39,10 @@ class FailureEntry:
     synthetic: bool = False
 
 
+def _silent_interrupt(kind: "InterruptKind") -> None:
+    """Default interrupt sink for buffers not wired to a processor."""
+
+
 class FailureBuffer:
     """FIFO of failed writes with same-address coalescing.
 
@@ -68,7 +72,7 @@ class FailureBuffer:
             raise ValueError("reserve must satisfy 0 <= reserve < capacity")
         self.capacity = capacity
         self.reserve = reserve
-        self._interrupt = interrupt or (lambda kind: None)
+        self._interrupt = interrupt or _silent_interrupt
         self._entries: "OrderedDict[int, FailureEntry]" = OrderedDict()
         self._stalled = False
         # Statistics for the evaluation harness.
@@ -76,6 +80,23 @@ class FailureBuffer:
         self.high_water_mark = 0
         #: Optional observability hook; see :mod:`repro.obs.trace`.
         self.tracer = None
+
+    def __getstate__(self) -> dict:
+        """Snapshot support: persist entries, drop process wiring.
+
+        The interrupt callback is a bound method of the owning PCM
+        module (a reference cycle) or a caller lambda; the owner
+        re-solders it in its own ``__setstate__``.
+        """
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        state["_interrupt"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._interrupt is None:
+            self._interrupt = _silent_interrupt
 
     # ------------------------------------------------------------------
     # Hardware-side operations

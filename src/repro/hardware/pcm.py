@@ -77,6 +77,10 @@ class EnduranceModel:
         return max(1, int(self.mean_writes * self.followup_fraction))
 
 
+def _silent_interrupt(kind: InterruptKind) -> None:
+    """Default interrupt sink for unwired (or freshly restored) modules."""
+
+
 class PcmModule:
     """A PCM module: an array of lines with wear, ECC, and a failure buffer.
 
@@ -124,7 +128,7 @@ class PcmModule:
         )
         self.clustering = ClusteringController(self.geometry) if clustering_enabled else None
         self.wear_leveler = wear_leveler or NoWearLeveling()
-        self._on_interrupt = on_interrupt or (lambda kind: None)
+        self._on_interrupt = on_interrupt or _silent_interrupt
         self._rng = random.Random(seed)
         self._write_counts: dict = {}
         #: Physical lines whose ECC budget is exhausted.
@@ -147,6 +151,34 @@ class PcmModule:
         self.failure_buffer.tracer = tracer
         if self.clustering is not None:
             self.clustering.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Serialize wear/failure state, not wiring.
+
+        The tracer and the interrupt callback are process wiring, not
+        machine state: the callback in particular points back into the
+        OS layer (or a caller-supplied closure), so persisting it would
+        either drag an unrelated object graph into a module-only
+        snapshot or fail outright on an unpicklable lambda. Restored
+        modules come back silent until the next owner rewires them —
+        ``OsMemoryManager.__init__`` and ``MachineSnapshot.restore``
+        both do.
+        """
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        state["_on_interrupt"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._on_interrupt is None:
+            self._on_interrupt = _silent_interrupt
+        # The failure buffer's interrupt line always points at its
+        # owning module; re-solder it rather than persisting the cycle.
+        self.failure_buffer._interrupt = self._raise_interrupt
 
     # ------------------------------------------------------------------
     @property

@@ -19,6 +19,15 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
+#: Stable counter names for the fault-tolerant sweep machinery; tests,
+#: dashboards and the chaos-smoke CI job key off these strings, so they
+#: are defined once here rather than inline at each increment site.
+SWEEP_RETRIES_TOTAL = "repro_sweep_retries_total"
+SWEEP_TIMEOUTS_TOTAL = "repro_sweep_timeouts_total"
+SWEEP_WORKER_CRASHES_TOTAL = "repro_sweep_worker_crashes_total"
+SWEEP_QUARANTINED_CELLS_TOTAL = "repro_sweep_quarantined_cells_total"
+SNAPSHOT_CHECKPOINTS_TOTAL = "repro_snapshot_checkpoints_total"
+
 #: Default histogram bucket upper bounds. Chosen to resolve both GC
 #: pauses in milliseconds (sub-ms nursery pauses through multi-second
 #: full-heap pathologies) and free-run lengths in lines (1..128).

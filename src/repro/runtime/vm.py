@@ -72,6 +72,12 @@ class VmConfig:
         if self.heap_bytes <= 0:
             raise ConfigError("heap_bytes must be positive")
 
+    def __getstate__(self) -> dict:
+        """Snapshot support: a tracer is process wiring, not config."""
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
+
 
 class VirtualMachine:
     """A failure-aware managed runtime over simulated wearable memory."""
@@ -110,6 +116,44 @@ class VirtualMachine:
             self.collector.tracer = self.tracer
             self.collector.los.tracer = self.tracer
         self.auditor = HeapAuditor(self, level=self._verify_level())
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Serialize the machine, not its observability wiring.
+
+        Tracers hold open sinks and clock closures; every layer drops
+        its own reference, and a restored machine comes back silent.
+        Use :meth:`attach_tracer` to resume observability.
+        """
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Restore the cooperation wiring the per-layer __getstate__
+        # hooks dropped, in the paper's protocol order: the runtime
+        # handler is registered before the hardware interrupt line is
+        # re-soldered into the OS, so no upcall can ever fire into an
+        # unhandled manager.
+        self.os.register_failure_handler(self._on_failure_upcall)
+        self.injector.pcm._on_interrupt = self.os._on_interrupt
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """(Re)wire a tracer through all three layers of a built machine.
+
+        Snapshots never persist tracers, so a restored machine is
+        silent until the caller attaches a fresh one.
+        """
+        self.tracer = tracer
+        self.config.tracer = tracer
+        tracer.bind_clock(lambda: self.cost_model.total_time(self.stats))
+        self.injector.pcm.set_tracer(tracer)
+        self.os.tracer = tracer
+        self.collector.tracer = tracer
+        self.collector.los.tracer = tracer
 
     def _wire_tracer(self) -> None:
         """Push the tracer into every instrumented layer."""

@@ -179,6 +179,27 @@ class ResultCache:
             raise
         self.stores += 1
 
+    def sweep_orphans(self) -> int:
+        """Delete temp files abandoned by killed writers; returns the count.
+
+        :meth:`put` publishes atomically, so a worker killed mid-write
+        can only ever leak its unrenamed ``*.tmp`` file — harmless to
+        correctness but accumulating forever. Long-lived entry points
+        call this once on startup; racing a *live* writer is safe
+        because ``os.replace`` on the already-unlinked temp file simply
+        fails and that writer retries the cell on the next sweep.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for orphan in self.root.glob("*/*.tmp"):
+            try:
+                orphan.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     # ------------------------------------------------------------------
     def counters(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

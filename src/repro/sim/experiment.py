@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from .cache import ResultCache
+from .ftexec import RetryPolicy
 from .machine import RunConfig, RunResult, run_benchmark
 from .parallel import SweepStats, run_grid
 
@@ -70,6 +71,12 @@ class ExperimentRunner:
     carry no events), so a traced runner skips the disk-cache read and
     callers should keep ``jobs=1``; the in-memory memo still guarantees
     each unique cell is traced exactly once.
+
+    ``retry``/``timeout_s`` route prefetch fan-outs through the
+    fault-tolerant executor (:mod:`repro.sim.ftexec`). Cells it
+    quarantines simply stay unmemoized; aggregation then re-runs them
+    inline via :meth:`run_one` — a serial in-process last resort, so a
+    figure still completes after persistent worker trouble.
     """
 
     def __init__(
@@ -81,6 +88,8 @@ class ExperimentRunner:
         jobs: int = 1,
         tracer_factory: Optional[Callable[[RunConfig], Tracer]] = None,
         trace_sink: Optional[Callable[[RunConfig, Tracer], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
         self.seeds = tuple(seeds)
         self.cost_model = cost_model
@@ -89,6 +98,8 @@ class ExperimentRunner:
         self.jobs = jobs
         self.tracer_factory = tracer_factory
         self.trace_sink = trace_sink
+        self.retry = retry
+        self.timeout_s = timeout_s
         # Keyed on (config, cost model): two runners (or one runner
         # whose model is swapped) must never share timings computed
         # under different constants.
@@ -150,9 +161,15 @@ class ExperimentRunner:
             jobs=self.jobs,
             cache=self.cache,
             progress=None,
+            retry=self.retry,
+            timeout_s=self.timeout_s,
         )
-        for cell, result in zip(expanded, results):
-            self._cache[(cell, self.cost_model)] = result
+        # Key by the result's own config, not by zipping against
+        # `expanded`: the fault-tolerant path may quarantine cells, and
+        # a positional zip would then memoize results under the wrong
+        # configs.
+        for result in results:
+            self._cache[(result.config, self.cost_model)] = result
         self.sweeps.append(stats)
         return stats
 

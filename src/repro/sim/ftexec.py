@@ -1,0 +1,414 @@
+"""Fault-tolerant execution of grid cells: retry, backoff, quarantine.
+
+The plain pool in :mod:`repro.sim.parallel` is fast but brittle — one
+worker death (OOM-killer, preempted node, plain SIGKILL) aborts the
+whole sweep and discards every in-flight cell. This module trades a
+little overhead for survival, using one **process per attempt**:
+
+* each attempt writes its result to a private spool file (atomically),
+  so the parent can always tell "finished" from "died mid-cell";
+* a missing or torn spool plus a nonzero exit code is a *crash*
+  (``-SIGKILL`` is detected specifically), an in-worker exception is an
+  *error*, and an attempt exceeding the per-cell budget is a *timeout*
+  (the parent terminates, then kills, the straggler);
+* every failure is retried with exponential backoff and deterministic
+  jitter — :meth:`RetryPolicy.delay` is a pure function of (seed, cell,
+  attempt), so scheduling is reproducible and unit-testable;
+* a cell that fails ``max_attempts`` times is **quarantined**: the
+  sweep completes without it and reports the partial result instead of
+  aborting (the Heterogeneous-Reliability stance — degrade, don't die).
+
+Time is injectable: the executor only ever reads the clock through a
+:class:`Clock`, so the retry/backoff/timeout policy is tested against
+:class:`FakeClock` with zero wall-clock sleeps in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..runtime.time_model import CostModel
+from .chaos import ChaosConfig, maybe_injure
+from .machine import RunConfig, RunResult, run_benchmark
+
+#: Parent poll granularity while attempts are in flight (real seconds).
+POLL_INTERVAL_S = 0.02
+
+
+# ----------------------------------------------------------------------
+# Injectable time
+# ----------------------------------------------------------------------
+class MonotonicClock:
+    """Wall time for production: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock:
+    """Deterministic time for tests: sleeping *is* advancing.
+
+    Records every sleep so tests can assert the executor's pacing
+    (backoff waits, poll cadence) without a single wall-clock stall.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self._now += max(0.0, seconds)
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attempt numbering starts at 1; the delay *before* attempt ``n`` is
+    ``base * 2**(n-2)`` capped at ``max_delay_s``, then jittered by a
+    factor drawn from ``[1 - jitter, 1 + jitter]``. The draw is a pure
+    function of (seed, cell index, attempt) — two runs of the same
+    sweep back off identically, and no two cells thundering-herd on the
+    same schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.5
+    max_delay_s: float = 8.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    def delay(self, cell_index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (>= 2) of ``cell_index``."""
+        if attempt < 2:
+            return 0.0
+        base = min(self.max_delay_s, self.base_delay_s * 2 ** (attempt - 2))
+        rng = random.Random((self.seed << 32) ^ (cell_index << 8) ^ attempt)
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class QuarantinedCell:
+    """A cell the sweep gave up on, with its full failure history."""
+
+    index: int
+    workload: str
+    description: str
+    attempts: int
+    failures: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "config": self.description,
+            "attempts": self.attempts,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class FaultToleranceReport:
+    """What the executor survived during one sweep."""
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    worker_errors: int = 0
+    quarantined: List[QuarantinedCell] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.retries == 0
+            and self.timeouts == 0
+            and self.worker_crashes == 0
+            and self.worker_errors == 0
+            and not self.quarantined
+        )
+
+    def merge(self, other: "FaultToleranceReport") -> None:
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.worker_crashes += other.worker_crashes
+        self.worker_errors += other.worker_errors
+        self.quarantined.extend(other.quarantined)
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "worker_errors": self.worker_errors,
+            "quarantined": [cell.to_dict() for cell in self.quarantined],
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _attempt_worker(
+    config: RunConfig,
+    cost_model: CostModel,
+    spool_path: str,
+    cell_index: int,
+    attempt: int,
+    chaos: Optional[ChaosConfig],
+) -> None:
+    """One attempt at one cell, result spooled atomically.
+
+    The chaos hook fires after dispatch, so from the parent's view the
+    worker dies mid-cell; an exception (chaos or real) is spooled as an
+    error record so the parent can distinguish it from a silent crash.
+    """
+    from .cache import result_to_dict  # local: avoids import cycle at fork
+
+    if chaos is None:
+        chaos = ChaosConfig.from_env()
+    started = time.perf_counter()
+    try:
+        maybe_injure(chaos, cell_index, attempt)
+        result = run_benchmark(config, cost_model)
+        payload = {
+            "ok": True,
+            "result": result_to_dict(result),
+            "wall_s": time.perf_counter() - started,
+        }
+    except BaseException as exc:  # spooled, classified by the parent
+        payload = {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_s": time.perf_counter() - started,
+        }
+    directory = os.path.dirname(spool_path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, spool_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Attempt:
+    __slots__ = ("process", "spool", "index", "config", "attempt", "started")
+
+    def __init__(self, process, spool, index, config, attempt, started) -> None:
+        self.process = process
+        self.spool = spool
+        self.index = index
+        self.config = config
+        self.attempt = attempt
+        self.started = started
+
+
+def run_cells_fault_tolerant(
+    pending: Sequence[Tuple[int, RunConfig]],
+    cost_model: CostModel,
+    jobs: int,
+    policy: RetryPolicy,
+    timeout_s: Optional[float] = None,
+    clock: Optional["MonotonicClock"] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    chaos: Optional[ChaosConfig] = None,
+    describe: Optional[Callable[[RunConfig], str]] = None,
+) -> Tuple[List[Tuple[int, RunResult, float]], FaultToleranceReport]:
+    """Run every cell to completion or quarantine; never aborts the sweep.
+
+    Returns completions as ``(index, result, wall_s)`` in arbitrary
+    order (the caller re-sorts by index) plus the survival report.
+    ``chaos`` is only ever armed by tests and the CI chaos-smoke job.
+    """
+    clock = clock or MonotonicClock()
+    describe = describe or (lambda config: repr(config))
+    report = FaultToleranceReport()
+    completions: List[Tuple[int, RunResult, float]] = []
+    jobs = max(1, jobs)
+
+    ready: List[Tuple[int, RunConfig, int]] = [
+        (index, config, 1) for index, config in pending
+    ]
+    ready.reverse()  # pop() serves cells in input order
+    delayed: List[Tuple[float, int, RunConfig, int]] = []
+    failures: Dict[int, List[str]] = {}
+    running: List[_Attempt] = []
+    context = multiprocessing.get_context()
+
+    def fail(attempt: _Attempt, kind: str, detail: str) -> None:
+        history = failures.setdefault(attempt.index, [])
+        history.append(f"attempt {attempt.attempt}: {kind}: {detail}")
+        if attempt.attempt >= policy.max_attempts:
+            report.quarantined.append(
+                QuarantinedCell(
+                    index=attempt.index,
+                    workload=attempt.config.workload,
+                    description=describe(attempt.config),
+                    attempts=attempt.attempt,
+                    failures=list(history),
+                )
+            )
+            if progress is not None:
+                progress(
+                    f"QUARANTINED {attempt.config.workload} "
+                    f"{describe(attempt.config)} after "
+                    f"{attempt.attempt} attempts ({kind})"
+                )
+            return
+        report.retries += 1
+        next_attempt = attempt.attempt + 1
+        wait = policy.delay(attempt.index, next_attempt)
+        delayed.append(
+            (clock.now() + wait, attempt.index, attempt.config, next_attempt)
+        )
+        if progress is not None:
+            progress(
+                f"retrying {attempt.config.workload} "
+                f"{describe(attempt.config)} ({kind}; "
+                f"attempt {next_attempt}/{policy.max_attempts} "
+                f"in {wait:.2f}s)"
+            )
+
+    def reap(attempt: _Attempt) -> None:
+        """Attempt's process has exited; classify the outcome."""
+        exitcode = attempt.process.exitcode
+        payload = None
+        try:
+            with open(attempt.spool, "r") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = None  # died before (or while) spooling
+        finally:
+            try:
+                os.unlink(attempt.spool)
+            except OSError:
+                pass
+        if payload is not None and payload.get("ok"):
+            from .cache import result_from_dict
+
+            completions.append(
+                (
+                    attempt.index,
+                    result_from_dict(payload["result"]),
+                    float(payload.get("wall_s", 0.0)),
+                )
+            )
+            return
+        if payload is not None:
+            report.worker_errors += 1
+            fail(attempt, "error", payload.get("error", "unknown error"))
+            return
+        report.worker_crashes += 1
+        if exitcode == -signal.SIGKILL:
+            detail = "killed (SIGKILL)"
+        elif exitcode is not None and exitcode < 0:
+            detail = f"terminated by signal {-exitcode}"
+        else:
+            detail = f"exit code {exitcode}, no result spooled"
+        fail(attempt, "crash", detail)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ftexec-") as spool_dir:
+        serial = 0
+        while ready or delayed or running:
+            now = clock.now()
+            # Promote delayed retries whose backoff has elapsed.
+            if delayed:
+                due = [item for item in delayed if item[0] <= now]
+                if due:
+                    delayed[:] = [item for item in delayed if item[0] > now]
+                    for _, index, config, attempt_no in sorted(due):
+                        ready.append((index, config, attempt_no))
+            # Fill free worker slots.
+            while ready and len(running) < jobs:
+                index, config, attempt_no = ready.pop()
+                spool = os.path.join(spool_dir, f"cell-{index}-{serial}.json")
+                serial += 1
+                process = context.Process(
+                    target=_attempt_worker,
+                    args=(config, cost_model, spool, index, attempt_no, chaos),
+                    daemon=True,
+                )
+                process.start()
+                running.append(
+                    _Attempt(process, spool, index, config, attempt_no, now)
+                )
+            if not running:
+                # Everything is waiting out a backoff: jump to the next
+                # due time instead of spinning.
+                clock.sleep(max(0.0, min(item[0] for item in delayed) - now))
+                continue
+            # Reap exits and enforce timeouts.
+            still_running: List[_Attempt] = []
+            reaped = False
+            for attempt in running:
+                if attempt.process.exitcode is not None:
+                    attempt.process.join()
+                    reap(attempt)
+                    reaped = True
+                elif (
+                    timeout_s is not None
+                    and clock.now() - attempt.started > timeout_s
+                ):
+                    attempt.process.terminate()
+                    attempt.process.join(1.0)
+                    if attempt.process.exitcode is None:
+                        attempt.process.kill()
+                        attempt.process.join()
+                    report.timeouts += 1
+                    try:
+                        os.unlink(attempt.spool)
+                    except OSError:
+                        pass
+                    fail(
+                        attempt,
+                        "timeout",
+                        f"exceeded {timeout_s:.1f}s cell budget",
+                    )
+                    reaped = True
+                else:
+                    still_running.append(attempt)
+            running = still_running
+            if not reaped:
+                clock.sleep(POLL_INTERVAL_S)
+
+    return completions, report

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..errors import OutOfMemoryError, ReproError
+from ..errors import OutOfMemoryError, ReproError, SnapshotError
 from ..faults.generator import FailureModel
 from ..faults.injector import FaultInjector
 from ..hardware.geometry import Geometry
@@ -29,6 +29,7 @@ from ..hardware.wear_leveling import NoWearLeveling, StartGapWearLeveler, WearLe
 from ..runtime.vm import VirtualMachine, VmConfig
 from ..workloads.driver import TraceDriver, estimate_min_heap
 from ..workloads.spec import WorkloadSpec
+from .snapshot import CheckpointPolicy, MachineSnapshot
 
 
 @dataclass
@@ -78,12 +79,21 @@ def run_lifetime(
     seed: int = 0,
     label: str = "",
     page_retirement: bool = False,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    resume_from: "Optional[MachineSnapshot | str]" = None,
 ) -> LifetimeResult:
     """Age one module by repeatedly running ``spec`` on it.
 
     ``endurance_mean_writes`` is deliberately tiny (a real cell endures
     ~1e8 writes) so modules die within a handful of iterations; the
     comparative behaviour between configurations is the result.
+
+    ``checkpoint`` snapshots the aging module (and the records so far)
+    every N completed iterations — the natural suspension points, since
+    each iteration rebuilds its VM from the module's wear state.
+    ``resume_from`` continues a checkpointed study; the caller must
+    pass the same spec and parameters, and the completed study is then
+    bit-identical to an uninterrupted one.
     """
     geometry = geometry or Geometry()
     if spec.mutations_per_object <= 0:
@@ -97,19 +107,34 @@ def run_lifetime(
     heap = (heap + block - 1) // block * block
     region = geometry.region
     pcm_bytes = (heap + region - 1) // region * region + region
-    pcm = PcmModule(
-        size_bytes=pcm_bytes,
-        geometry=geometry,
-        endurance=EnduranceModel(
-            mean_writes=endurance_mean_writes, cv=endurance_cv, seed=seed
-        ),
-        clustering_enabled=clustering,
-        wear_leveler=wear_leveler or NoWearLeveling(),
-        failure_buffer_capacity=128,
-        seed=seed,
-    )
-    result = LifetimeResult(label=label or _default_label(wear_leveler, clustering))
-    for iteration in range(max_iterations):
+    if resume_from is not None:
+        snapshot = (
+            MachineSnapshot.load(resume_from)
+            if isinstance(resume_from, str)
+            else resume_from
+        )
+        if snapshot.kind != "lifetime":
+            raise SnapshotError(
+                f"expected a 'lifetime' snapshot, found {snapshot.kind!r}"
+            )
+        pcm, result, start_iteration = snapshot.restore()
+    else:
+        pcm = PcmModule(
+            size_bytes=pcm_bytes,
+            geometry=geometry,
+            endurance=EnduranceModel(
+                mean_writes=endurance_mean_writes, cv=endurance_cv, seed=seed
+            ),
+            clustering_enabled=clustering,
+            wear_leveler=wear_leveler or NoWearLeveling(),
+            failure_buffer_capacity=128,
+            seed=seed,
+        )
+        result = LifetimeResult(
+            label=label or _default_label(wear_leveler, clustering)
+        )
+        start_iteration = 0
+    for iteration in range(start_iteration, max_iterations):
         injector = FaultInjector(FailureModel(), geometry=geometry, seed=seed, pcm=pcm)
         config = VmConfig(
             heap_bytes=heap,
@@ -138,6 +163,12 @@ def run_lifetime(
         if not completed:
             break
         result.iterations_completed += 1
+        if checkpoint is not None and checkpoint.due(iteration + 1):
+            checkpoint.checkpoint(
+                (pcm, result, iteration + 1),
+                kind="lifetime",
+                meta={"label": result.label, "iteration": iteration + 1},
+            )
     result.final_failed_fraction = pcm.failed_fraction()
     from ..hardware.wear_leveling import spread_statistics
 

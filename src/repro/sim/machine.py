@@ -10,17 +10,19 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional
 
-from ..errors import OutOfMemoryError
+from ..errors import OutOfMemoryError, SnapshotError
 from ..faults.generator import FailureModel
 from ..faults.injector import FaultInjector
 from ..hardware.geometry import Geometry
 from ..hardware.pcm import EnduranceModel, PcmModule
+from ..obs.metrics import SNAPSHOT_CHECKPOINTS_TOTAL
 from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from ..runtime.vm import VirtualMachine, VmConfig
 from ..workloads.dacapo import workload
 from ..workloads.driver import TraceDriver, estimate_min_heap
 from ..workloads.spec import WorkloadSpec
+from .snapshot import CheckpointPolicy, MachineSnapshot
 
 
 @dataclass(frozen=True)
@@ -94,6 +96,7 @@ def run_benchmark(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     verify: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> RunResult:
     """Execute one benchmark invocation; never raises on heap exhaustion.
 
@@ -112,6 +115,11 @@ def run_benchmark(
     layers; the result then carries a per-phase time breakdown. Also
     kept out of :class:`RunConfig`: tracing never changes behaviour, so
     traced and untraced results are interchangeable.
+
+    ``checkpoint`` emits a :class:`~repro.sim.snapshot.MachineSnapshot`
+    of the whole stack every N driver steps; an interrupted run resumes
+    from the latest one via :func:`resume_benchmark` with a result
+    bit-identical to never having stopped.
     """
     geometry = config.geometry()
     spec = config.spec()
@@ -129,23 +137,72 @@ def run_benchmark(
         tracer=tracer,
     )
     vm = VirtualMachine(vm_config, cost_model=cost_model)
-    return _drive_and_summarize(vm, spec, config, cost_model, min_heap, heap, tracer)
+    driver = TraceDriver(spec, config.seed)
+    return _drive_and_summarize(
+        vm, driver, config, cost_model, min_heap, heap, tracer, checkpoint
+    )
+
+
+def resume_benchmark(
+    snapshot: "MachineSnapshot | str",
+    tracer: Optional[Tracer] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    check_fingerprint: bool = True,
+) -> RunResult:
+    """Continue an interrupted benchmark from a checkpoint snapshot.
+
+    The snapshot carries the machine, the driver, and the run's
+    :class:`RunConfig` (cost model included, pickled inside the VM), so
+    the continuation needs no caller-supplied configuration — and
+    cannot accidentally diverge from the original. The returned
+    :class:`RunResult` is bit-identical to an uninterrupted run's.
+    """
+    if isinstance(snapshot, str):
+        snapshot = MachineSnapshot.load(snapshot)
+    if snapshot.kind != "bench":
+        raise SnapshotError(
+            f"expected a 'bench' snapshot, found {snapshot.kind!r}"
+        )
+    vm, driver, config = snapshot.restore(check_fingerprint=check_fingerprint)
+    if tracer is not None:
+        vm.attach_tracer(tracer)
+    min_heap = min_heap_bytes(config)
+    return _drive_and_summarize(
+        vm,
+        driver,
+        config,
+        vm.cost_model,
+        min_heap,
+        vm.config.heap_bytes,
+        tracer,
+        checkpoint,
+    )
 
 
 def _drive_and_summarize(
     vm: VirtualMachine,
-    spec: WorkloadSpec,
+    driver: TraceDriver,
     config: RunConfig,
     cost_model: CostModel,
     min_heap: int,
     heap: int,
     tracer: Optional[Tracer],
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> RunResult:
-    """Drive the workload over a built VM and summarize the outcome."""
+    """Drive the workload over a built VM and summarize the outcome.
+
+    The driver may arrive mid-trace (a snapshot restore); a fresh one
+    is started here. Checkpoints land only between steps, where the
+    event stream is deterministic across save/restore.
+    """
     completed = True
     note = ""
     try:
-        TraceDriver(spec, config.seed).run(vm)
+        if driver.state is None:
+            driver.begin()
+        while driver.step(vm):
+            if checkpoint is not None and checkpoint.due(driver.state.steps):
+                _emit_checkpoint(vm, driver, config, checkpoint)
         vm.auditor.final()
     except OutOfMemoryError as exc:
         completed = False
@@ -173,12 +230,37 @@ def _drive_and_summarize(
     )
 
 
+def _emit_checkpoint(
+    vm: VirtualMachine,
+    driver: TraceDriver,
+    config: RunConfig,
+    checkpoint: CheckpointPolicy,
+) -> None:
+    steps = driver.state.steps
+    checkpoint.checkpoint(
+        (vm, driver, config),
+        kind="bench",
+        meta={"workload": config.workload, "seed": config.seed, "step": steps},
+    )
+    tr = vm.tracer
+    if tr is not None:
+        tr.instant(
+            "snapshot.checkpoint",
+            cat="sim",
+            args={"step": steps, "path": checkpoint.path},
+        )
+        tr.metrics.counter(
+            SNAPSHOT_CHECKPOINTS_TOTAL, "machine snapshots written"
+        ).inc()
+
+
 def run_wearing_benchmark(
     config: RunConfig,
     mean_writes: float = 25.0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     verify: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> RunResult:
     """One run on a *wearing* module, so dynamic failures arrive mid-run.
 
@@ -230,4 +312,7 @@ def run_wearing_benchmark(
         tracer=tracer,
     )
     vm = VirtualMachine(vm_config, injector=injector, cost_model=cost_model)
-    return _drive_and_summarize(vm, spec, config, cost_model, min_heap, heap, tracer)
+    driver = TraceDriver(spec, config.seed)
+    return _drive_and_summarize(
+        vm, driver, config, cost_model, min_heap, heap, tracer, checkpoint
+    )

@@ -28,10 +28,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from .cache import ResultCache
+from .chaos import ChaosConfig
+from .ftexec import FaultToleranceReport, RetryPolicy, run_cells_fault_tolerant
 from .machine import RunConfig, RunResult, run_benchmark
 
-#: Sweep-artifact schema identifier (see EXPERIMENTS.md).
-SWEEP_SCHEMA = "repro.sweep/1"
+#: Sweep-artifact schema identifier (see EXPERIMENTS.md). Version 2
+#: added the fault-tolerance block and the deterministic ``results``
+#: section the chaos-smoke CI job compares across runs.
+SWEEP_SCHEMA = "repro.sweep/2"
 
 
 def default_jobs() -> int:
@@ -76,6 +80,11 @@ class SweepStats:
     #: Sum of per-cell execution time (the work the pool actually did).
     busy_s: float = 0.0
     timings: List[CellTiming] = field(default_factory=list)
+    #: What the fault-tolerant executor survived (zeros on the plain
+    #: pool path, which aborts on the first worker death instead).
+    fault_tolerance: FaultToleranceReport = field(
+        default_factory=FaultToleranceReport
+    )
 
     @property
     def utilization(self) -> float:
@@ -91,6 +100,7 @@ class SweepStats:
         self.cache_misses += other.cache_misses
         self.wall_s += other.wall_s
         self.busy_s += other.busy_s
+        self.fault_tolerance.merge(other.fault_tolerance)
         for timing in other.timings:
             self.timings.append(
                 CellTiming(
@@ -112,6 +122,7 @@ class SweepStats:
             "wall_s": self.wall_s,
             "busy_s": self.busy_s,
             "utilization": self.utilization,
+            "fault_tolerance": self.fault_tolerance.to_dict(),
             "cell_timings": [timing.to_dict() for timing in self.timings],
         }
 
@@ -143,11 +154,22 @@ def run_grid(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> Tuple[List[RunResult], SweepStats]:
     """Execute every cell; results come back in input order.
 
     ``jobs <= 1`` runs inline (no pool); ``jobs == 0`` means auto
     (:func:`default_jobs`). Cached cells never reach the pool.
+
+    Passing ``retry`` and/or ``timeout_s`` routes uncached cells
+    through the fault-tolerant executor (:mod:`repro.sim.ftexec`):
+    crashed, erroring, or overrunning workers are retried with backoff,
+    and cells failing persistently are quarantined — the returned list
+    then contains only the surviving results (still input-ordered) and
+    ``stats.fault_tolerance`` reports the casualties. ``chaos`` is the
+    test/CI hook that injects worker failures.
     """
     if jobs == 0:
         jobs = default_jobs()
@@ -179,7 +201,19 @@ def run_grid(
         pending.append((index, config))
 
     if pending:
-        if jobs <= 1:
+        if retry is not None or timeout_s is not None or chaos is not None:
+            completions, ft_report = run_cells_fault_tolerant(
+                pending,
+                cost_model,
+                jobs,
+                retry or RetryPolicy(),
+                timeout_s=timeout_s,
+                progress=progress,
+                chaos=chaos,
+                describe=_describe,
+            )
+            stats.fault_tolerance.merge(ft_report)
+        elif jobs <= 1:
             _init_worker(cost_model)
             try:
                 completions = [_run_cell(item) for item in pending]
@@ -216,7 +250,9 @@ def run_grid(
     stats.timings.sort(key=lambda timing: timing.index)
     stats.wall_s = time.perf_counter() - started
     final = [result for result in results if result is not None]
-    assert len(final) == len(configs)
+    # Quarantined cells are the only legitimate gaps (partial results
+    # instead of an aborted sweep); anything else missing is a bug.
+    assert len(final) == len(configs) - len(stats.fault_tolerance.quarantined)
     return final, stats
 
 

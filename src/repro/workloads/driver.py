@@ -85,85 +85,174 @@ class DriveResult:
     expired_cohorts: int
 
 
+class DriverState:
+    """The full resumable state of one driven workload iteration.
+
+    Everything the trace driver knows between cohorts lives here, so a
+    snapshot taken at a step boundary (one cohort = one step) restores
+    to the exact event stream an uninterrupted run would produce: the
+    seeded generator, the allocation clock, and the pending-death heap
+    (which references live head objects by identity) all round-trip
+    through pickle.
+    """
+
+    __slots__ = (
+        "rng",
+        "phase",
+        "clock",
+        "immortal",
+        "cohorts",
+        "expired",
+        "objects",
+        "pending",
+        "sequence",
+        "mutation_budget",
+        "steps",
+    )
+
+    #: Phases of a run, in order.
+    IMMORTAL = "immortal"
+    CHURN = "churn"
+    DONE = "done"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.phase = self.IMMORTAL
+        self.clock = 0
+        self.immortal = 0
+        self.cohorts = 0
+        self.expired = 0
+        self.objects = 0
+        # (death_clock, sequence, head) — sequence breaks ties.
+        self.pending: List[tuple] = []
+        self.sequence = 0
+        self.mutation_budget = 0.0
+        #: Completed step() calls; checkpoint policies key off this.
+        self.steps = 0
+
+
 class TraceDriver:
-    """Drives a sink through one iteration of a workload."""
+    """Drives a sink through one iteration of a workload.
+
+    The driver is a resumable state machine: :meth:`begin` initializes
+    a :class:`DriverState`, each :meth:`step` emits one cohort of
+    allocations (returning False once the trace is exhausted), and
+    :meth:`result` summarizes. :meth:`run` is the one-shot convenience
+    wrapper and produces an event stream identical to stepping manually,
+    so a run checkpointed between steps and resumed elsewhere replays
+    bit-for-bit.
+    """
 
     def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
         self.spec = spec
         self.seed = seed
+        self.state: Optional[DriverState] = None
 
-    def run(self, sink) -> DriveResult:
-        spec = self.spec
+    # ------------------------------------------------------------------
+    def begin(self) -> DriverState:
+        """Start (or restart) the trace; returns the fresh state."""
         # crc32, not hash(): str hashes are randomized per process
         # (PYTHONHASHSEED), which made traces — and thus every result —
         # irreproducible across processes, workers, and cache entries.
-        rng = random.Random((self.seed << 16) ^ (zlib.crc32(spec.name.encode()) & 0xFFFF))
-        clock = 0
-        cohorts = 0
-        expired = 0
-        objects = 0
-        # (death_clock, sequence, head) — sequence breaks ties.
-        pending: List[tuple] = []
-        sequence = 0
-
-        # --------------------------------------------------------------
-        # Immortal data: rooted once, never removed.
-        # --------------------------------------------------------------
-        immortal = 0
-        while immortal < spec.immortal_bytes:
-            head_size = spec.small.sample(rng)
-            head = sink.alloc(head_size)
-            sink.add_root(head)
-            immortal += aligned_size(head_size)
-            objects += 1
-            for _ in range(spec.cohort_size - 1):
-                if immortal >= spec.immortal_bytes:
-                    break
-                child_size = spec.sample_size(rng)
-                child = sink.alloc(child_size)
-                sink.add_ref(head, child)
-                immortal += aligned_size(child_size)
-                objects += 1
-        clock += immortal
-
-        # --------------------------------------------------------------
-        # Churn: cohorts with sampled lifetimes.
-        # --------------------------------------------------------------
-        mutation_budget = 0.0
-        while clock < spec.total_alloc_bytes:
-            while pending and pending[0][0] <= clock:
-                _, _, dead_head = heapq.heappop(pending)
-                sink.remove_root(dead_head)
-                expired += 1
-            head_size = spec.small.sample(rng)
-            head = sink.alloc(head_size)
-            sink.add_root(head)
-            clock += aligned_size(head_size)
-            objects += 1
-            cohorts += 1
-            lifetime = spec.sample_lifetime(rng)
-            heapq.heappush(pending, (clock + lifetime, sequence, head))
-            sequence += 1
-            for _ in range(spec.cohort_size - 1):
-                pinned = rng.random() < spec.pinned_fraction
-                child_size = spec.sample_size(rng)
-                child = sink.alloc(child_size, pinned=pinned)
-                sink.add_ref(head, child)
-                clock += aligned_size(child_size)
-                objects += 1
-                if spec.mutations_per_object > 0:
-                    mutation_budget += spec.mutations_per_object
-                    while mutation_budget >= 1.0:
-                        sink.mutate(child)
-                        mutation_budget -= 1.0
-                if clock >= spec.total_alloc_bytes:
-                    break
-        return DriveResult(
-            allocated_objects=objects,
-            allocated_bytes=clock,
-            cohorts=cohorts,
-            expired_cohorts=expired,
+        rng = random.Random(
+            (self.seed << 16) ^ (zlib.crc32(self.spec.name.encode()) & 0xFFFF)
         )
+        self.state = DriverState(rng)
+        return self.state
+
+    @property
+    def done(self) -> bool:
+        return self.state is not None and self.state.phase == DriverState.DONE
+
+    def step(self, sink) -> bool:
+        """Advance by one cohort; False when the trace is exhausted."""
+        state = self.state
+        if state is None:
+            raise RuntimeError("call begin() before step()")
+        if state.phase == DriverState.IMMORTAL:
+            self._step_immortal(state, sink)
+        elif state.phase == DriverState.CHURN:
+            if state.clock >= self.spec.total_alloc_bytes:
+                state.phase = DriverState.DONE
+            else:
+                self._step_churn(state, sink)
+        if state.phase == DriverState.DONE:
+            return False
+        state.steps += 1
+        return True
+
+    def _step_immortal(self, state: DriverState, sink) -> None:
+        """One immortal cohort: rooted once, never removed."""
+        spec = self.spec
+        if state.immortal >= spec.immortal_bytes:
+            state.clock += state.immortal
+            state.phase = DriverState.CHURN
+            return
+        rng = state.rng
+        head_size = spec.small.sample(rng)
+        head = sink.alloc(head_size)
+        sink.add_root(head)
+        state.immortal += aligned_size(head_size)
+        state.objects += 1
+        for _ in range(spec.cohort_size - 1):
+            if state.immortal >= spec.immortal_bytes:
+                break
+            child_size = spec.sample_size(rng)
+            child = sink.alloc(child_size)
+            sink.add_ref(head, child)
+            state.immortal += aligned_size(child_size)
+            state.objects += 1
+
+    def _step_churn(self, state: DriverState, sink) -> None:
+        """One churn cohort with a sampled lifetime."""
+        spec = self.spec
+        rng = state.rng
+        while state.pending and state.pending[0][0] <= state.clock:
+            _, _, dead_head = heapq.heappop(state.pending)
+            sink.remove_root(dead_head)
+            state.expired += 1
+        head_size = spec.small.sample(rng)
+        head = sink.alloc(head_size)
+        sink.add_root(head)
+        state.clock += aligned_size(head_size)
+        state.objects += 1
+        state.cohorts += 1
+        lifetime = spec.sample_lifetime(rng)
+        heapq.heappush(state.pending, (state.clock + lifetime, state.sequence, head))
+        state.sequence += 1
+        for _ in range(spec.cohort_size - 1):
+            pinned = rng.random() < spec.pinned_fraction
+            child_size = spec.sample_size(rng)
+            child = sink.alloc(child_size, pinned=pinned)
+            sink.add_ref(head, child)
+            state.clock += aligned_size(child_size)
+            state.objects += 1
+            if spec.mutations_per_object > 0:
+                state.mutation_budget += spec.mutations_per_object
+                while state.mutation_budget >= 1.0:
+                    sink.mutate(child)
+                    state.mutation_budget -= 1.0
+            if state.clock >= spec.total_alloc_bytes:
+                break
+
+    def result(self) -> DriveResult:
+        state = self.state
+        if state is None:
+            raise RuntimeError("the driver never ran")
+        return DriveResult(
+            allocated_objects=state.objects,
+            allocated_bytes=state.clock,
+            cohorts=state.cohorts,
+            expired_cohorts=state.expired,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, sink) -> DriveResult:
+        """Drive the whole trace in one call (fresh start)."""
+        self.begin()
+        while self.step(sink):
+            pass
+        return self.result()
 
 
 def estimate_min_heap(

@@ -1,0 +1,158 @@
+"""Crash-injection tests: sweeps survive worker deaths (sim/chaos.py).
+
+The promise under test: with chaos armed — workers SIGKILLed or raising
+mid-cell — a sweep completes via retries and its results are
+**bit-identical** to an undisturbed sweep; cells that fail every
+attempt are quarantined instead of aborting everything.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ChaosError, ConfigError
+from repro.faults.generator import FailureModel
+from repro.sim.cache import ResultCache, result_to_dict
+from repro.sim.chaos import CHAOS_ENV, ChaosConfig, maybe_injure
+from repro.sim.ftexec import RetryPolicy
+from repro.sim.machine import RunConfig
+from repro.sim.parallel import run_grid
+
+#: Fast backoff so injected failures don't slow the suite down.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05)
+
+
+def small_grid():
+    return [
+        RunConfig(workload="luindex", scale=0.05, seed=seed,
+                  failure_model=FailureModel(rate=rate))
+        for seed in (0, 1)
+        for rate in (0.0, 0.10)
+    ]
+
+
+def chaos_that_hits(mode, grid, probability=0.5):
+    """A seed whose draws injure at least one first attempt but spare
+    every cell's final attempt — so the sweep must retry AND recover."""
+    for seed in range(1000):
+        chaos = ChaosConfig(mode=mode, probability=probability, seed=seed)
+        hits = any(chaos.should_injure(i, 1) for i in range(len(grid)))
+        recovers = all(
+            not chaos.should_injure(i, FAST_RETRY.max_attempts)
+            for i in range(len(grid))
+        )
+        if hits and recovers:
+            return chaos
+    raise AssertionError("no suitable chaos seed in range")
+
+
+def serialized(results):
+    return json.dumps([result_to_dict(r) for r in results], sort_keys=True)
+
+
+class TestChaosConfig:
+    def test_parse_round_trip(self):
+        chaos = ChaosConfig.parse("kill:0.4:7")
+        assert (chaos.mode, chaos.probability, chaos.seed) == ("kill", 0.4, 7)
+        assert ChaosConfig.parse("raise:0.25").seed == 0
+
+    def test_parse_rejects_garbage(self):
+        for spec in ("kill", "kill:x", "explode:0.5", "kill:2.0", "a:b:c:d"):
+            with pytest.raises(ConfigError):
+                ChaosConfig.parse(spec)
+
+    def test_from_env(self):
+        assert ChaosConfig.from_env({}) is None
+        assert ChaosConfig.from_env({CHAOS_ENV: ""}) is None
+        chaos = ChaosConfig.from_env({CHAOS_ENV: "raise:0.5:3"})
+        assert chaos == ChaosConfig(mode="raise", probability=0.5, seed=3)
+
+    def test_draws_deterministic_and_independent(self):
+        chaos = ChaosConfig(mode="raise", probability=0.5, seed=1)
+        draws = [chaos.should_injure(i, a) for i in range(8) for a in (1, 2)]
+        again = [chaos.should_injure(i, a) for i in range(8) for a in (1, 2)]
+        assert draws == again
+        assert any(draws) and not all(draws)
+
+    def test_probability_bounds(self):
+        never = ChaosConfig(mode="raise", probability=0.0)
+        always = ChaosConfig(mode="raise", probability=1.0)
+        assert not any(never.should_injure(i, 1) for i in range(32))
+        assert all(always.should_injure(i, 1) for i in range(32))
+
+    def test_maybe_injure_raises_in_raise_mode(self):
+        with pytest.raises(ChaosError):
+            maybe_injure(ChaosConfig(mode="raise", probability=1.0), 0, 1)
+        maybe_injure(None, 0, 1)  # disarmed: no-op
+
+
+class TestSweepsSurviveChaos:
+    def test_raise_chaos_results_bit_identical(self):
+        grid = small_grid()
+        clean, _ = run_grid(grid, jobs=2)
+        chaos = chaos_that_hits("raise", grid)
+        disturbed, stats = run_grid(
+            grid, jobs=2, retry=FAST_RETRY, chaos=chaos
+        )
+        report = stats.fault_tolerance
+        assert report.worker_errors > 0
+        assert report.retries > 0
+        assert not report.quarantined
+        assert serialized(disturbed) == serialized(clean)
+
+    def test_kill_chaos_results_bit_identical(self):
+        grid = small_grid()
+        clean, _ = run_grid(grid, jobs=2)
+        chaos = chaos_that_hits("kill", grid)
+        disturbed, stats = run_grid(
+            grid, jobs=2, retry=FAST_RETRY, chaos=chaos
+        )
+        report = stats.fault_tolerance
+        assert report.worker_crashes > 0
+        assert report.retries > 0
+        assert not report.quarantined
+        assert serialized(disturbed) == serialized(clean)
+
+    def test_unrecoverable_cells_quarantined_not_fatal(self):
+        grid = small_grid()[:2]
+        chaos = ChaosConfig(mode="kill", probability=1.0)
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.01)
+        results, stats = run_grid(grid, jobs=2, retry=policy, chaos=chaos)
+        assert results == []
+        quarantined = stats.fault_tolerance.quarantined
+        assert len(quarantined) == 2
+        for cell in quarantined:
+            assert cell.attempts == 2
+            assert all("killed (SIGKILL)" in entry for entry in cell.failures)
+
+    def test_chaos_sweep_leaves_no_cache_orphans(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        cache = ResultCache(cache_root)
+        grid = small_grid()
+        chaos = chaos_that_hits("kill", grid)
+        disturbed, _ = run_grid(
+            grid, jobs=2, cache=cache, retry=FAST_RETRY, chaos=chaos
+        )
+        assert len(disturbed) == len(grid)
+        assert list(cache_root.glob("**/*.tmp")) == []
+        # And a second, chaos-free run is served entirely from cache.
+        replayed, stats = run_grid(grid, jobs=2, cache=cache)
+        assert stats.cache_hits == len(grid)
+        assert serialized(replayed) == serialized(disturbed)
+
+
+class TestOrphanSweep:
+    def test_sweep_orphans_removes_only_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = small_grid()[:1]
+        run_grid(grid, jobs=1, cache=cache)
+        shard = next(iter(cache.entries())).parent
+        (shard / "dead-writer-1.tmp").write_text("torn")
+        (shard / "dead-writer-2.tmp").write_text("torn")
+        assert cache.sweep_orphans() == 2
+        assert list((tmp_path / "cache").glob("**/*.tmp")) == []
+        assert len(cache) == 1  # real entries untouched
+        assert cache.sweep_orphans() == 0
+
+    def test_sweep_orphans_on_missing_root(self, tmp_path):
+        assert ResultCache(tmp_path / "nowhere").sweep_orphans() == 0

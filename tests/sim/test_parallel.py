@@ -74,8 +74,15 @@ class TestSweepStats:
         grid = small_grid()[:2]
         _, stats = run_grid(grid, jobs=1)
         payload = stats.to_dict()
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
         assert payload["cells"] == 2
+        assert payload["fault_tolerance"] == {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "worker_errors": 0,
+            "quarantined": [],
+        }
         assert payload["cache"] == {"hits": 0, "misses": 0}
         assert len(payload["cell_timings"]) == 2
         cell = payload["cell_timings"][0]

@@ -1,0 +1,171 @@
+"""Tests for machine snapshots (sim/snapshot.py).
+
+The contract under test is the tentpole one: a run checkpointed at an
+arbitrary step boundary and resumed from the snapshot file produces a
+``RunResult`` whose serialized form is **bit-identical** to an
+uninterrupted run's.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SnapshotError
+from repro.faults.generator import FailureModel
+from repro.sim.cache import result_to_dict
+from repro.sim.lifetime import run_lifetime, write_heavy
+from repro.sim.machine import RunConfig, resume_benchmark, run_benchmark
+from repro.sim.snapshot import (
+    SNAPSHOT_MAGIC,
+    CheckpointPolicy,
+    MachineSnapshot,
+    machine_digest,
+)
+from repro.workloads.dacapo import workload
+
+
+def tiny_config(seed=0, rate=0.10, collector="sticky-immix"):
+    return RunConfig(
+        workload="luindex",
+        scale=0.05,
+        seed=seed,
+        collector=collector,
+        failure_model=FailureModel(rate=rate),
+    )
+
+
+def canonical(result):
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+class TestEnvelope:
+    def test_bytes_round_trip(self):
+        snapshot = MachineSnapshot.capture({"answer": 42}, kind="bench",
+                                           meta={"step": 7})
+        clone = MachineSnapshot.from_bytes(snapshot.to_bytes())
+        assert clone.kind == "bench"
+        assert clone.meta == {"step": 7}
+        assert clone.restore() == {"answer": 42}
+
+    def test_file_round_trip_is_atomic(self, tmp_path):
+        path = tmp_path / "nested" / "state.snap"
+        MachineSnapshot.capture([1, 2, 3], kind="lifetime").save(str(path))
+        assert MachineSnapshot.load(str(path)).restore() == [1, 2, 3]
+        leftovers = [
+            name for name in os.listdir(path.parent) if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.from_bytes(b"NOTASNAP" + b"\0" * 64)
+
+    def test_truncation_rejected(self):
+        blob = MachineSnapshot.capture("payload").to_bytes()
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.from_bytes(blob[: len(blob) - 3])
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.from_bytes(blob[: len(SNAPSHOT_MAGIC) + 1])
+
+    def test_corruption_rejected(self):
+        blob = bytearray(MachineSnapshot.capture("payload").to_bytes())
+        blob[-1] ^= 0xFF
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.from_bytes(bytes(blob))
+
+    def test_fingerprint_gates_restore(self):
+        snapshot = MachineSnapshot.capture("payload")
+        snapshot.fingerprint = "stale"
+        with pytest.raises(SnapshotError):
+            snapshot.restore()
+        assert snapshot.restore(check_fingerprint=False) == "payload"
+
+    def test_missing_file_is_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.load(str(tmp_path / "absent.snap"))
+
+
+class TestCapturePurity:
+    def test_capture_leaves_machine_unchanged(self):
+        from repro.runtime.vm import VirtualMachine, VmConfig
+        from repro.sim.machine import min_heap_bytes
+        from repro.workloads.driver import TraceDriver
+
+        config = tiny_config()
+        heap = int(min_heap_bytes(config) * config.heap_multiplier)
+        vm = VirtualMachine(
+            VmConfig(
+                heap_bytes=heap,
+                failure_model=config.failure_model,
+                seed=config.seed,
+            )
+        )
+        driver = TraceDriver(config.spec(), config.seed)
+        driver.begin()
+        for _ in range(3):
+            driver.step(vm)
+        before = machine_digest(vm)
+        MachineSnapshot.capture((vm, driver), kind="bench")
+        assert machine_digest(vm) == before
+
+
+class TestResumeBitIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        every=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2),
+        rate=st.sampled_from([0.0, 0.10, 0.25]),
+    )
+    def test_bench_resume_identical(self, tmp_path_factory, every, seed, rate):
+        # tmp_path is function-scoped and hypothesis reuses the test
+        # function across examples, so mint a fresh directory per draw.
+        snap = str(tmp_path_factory.mktemp("snap") / "ck.snap")
+        config = tiny_config(seed=seed, rate=rate)
+        clean = run_benchmark(config)
+        policy = CheckpointPolicy(snap, every_steps=every)
+        checkpointed = run_benchmark(config, checkpoint=policy)
+        assert canonical(checkpointed) == canonical(clean)
+        assert policy.emitted > 0
+        resumed = resume_benchmark(snap)
+        assert canonical(resumed) == canonical(clean)
+
+    def test_marksweep_resume_identical(self, tmp_path):
+        snap = str(tmp_path / "ck.snap")
+        config = tiny_config(collector="sticky-marksweep")
+        clean = run_benchmark(config)
+        run_benchmark(config, checkpoint=CheckpointPolicy(snap, every_steps=3))
+        assert canonical(resume_benchmark(snap)) == canonical(clean)
+
+    def test_bench_snapshot_kind_checked(self, tmp_path):
+        snap = str(tmp_path / "wrong.snap")
+        MachineSnapshot.capture("not a machine", kind="lifetime").save(snap)
+        with pytest.raises(SnapshotError):
+            resume_benchmark(snap)
+
+    def test_lifetime_resume_identical(self, tmp_path):
+        snap = str(tmp_path / "life.snap")
+        spec = write_heavy(workload("luindex"), mutations_per_object=2.0)
+        import dataclasses
+
+        spec = dataclasses.replace(spec, total_alloc_bytes=300_000)
+        kwargs = dict(endurance_mean_writes=30.0, max_iterations=6, seed=0)
+        clean = run_lifetime(spec, **kwargs)
+        checkpointed = run_lifetime(
+            spec, checkpoint=CheckpointPolicy(snap, every_steps=2), **kwargs
+        )
+        resumed = run_lifetime(spec, resume_from=snap, **kwargs)
+        for other in (checkpointed, resumed):
+            assert other.iterations_completed == clean.iterations_completed
+            assert other.final_failed_fraction == clean.final_failed_fraction
+            assert [r.__dict__ for r in other.records] == \
+                [r.__dict__ for r in clean.records]
+
+    def test_lifetime_rejects_bench_snapshot(self, tmp_path):
+        snap = str(tmp_path / "bench.snap")
+        MachineSnapshot.capture("whatever", kind="bench").save(snap)
+        spec = write_heavy(workload("luindex"), mutations_per_object=2.0)
+        with pytest.raises(SnapshotError):
+            run_lifetime(spec, resume_from=snap)

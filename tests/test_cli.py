@@ -107,9 +107,11 @@ class TestCommands:
         assert code == 0
         assert "luindex" in capsys.readouterr().out
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
         assert payload["cells"] == 2
         assert len(payload["cell_timings"]) == 2
+        assert len(payload["results"]) == 2
+        assert payload["fault_tolerance"]["quarantined"] == []
 
     def test_sweep_cache_hits_on_second_run(self, capsys, tmp_path):
         import json
