@@ -13,6 +13,12 @@ several placements of those failures, and prints what each does to the
 memory manager.
 
 Run:  python examples/clustering_study.py
+
+The same grid ships as a declarative plan — run it through the
+sweep machinery (parallel, cached, resumable) instead:
+
+    python -m repro plan plans/clustering_study.yaml --dry-run
+    python -m repro sweep --plan plans/clustering_study.yaml --jobs 4
 """
 
 from dataclasses import replace

@@ -7,6 +7,12 @@ failures shift the curve up and to the right; compensation and
 clustering push it back down.
 
 Run:  python examples/heap_size_study.py
+
+The same grid ships as a declarative plan — run it through the
+sweep machinery (parallel, cached, resumable) instead:
+
+    python -m repro plan plans/heap_size_study.yaml --dry-run
+    python -m repro sweep --plan plans/heap_size_study.yaml --jobs 4
 """
 
 from dataclasses import replace

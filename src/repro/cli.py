@@ -4,12 +4,24 @@ Commands
 --------
 ``figures``    regenerate one or more of the paper's figures
 ``sweep``      run a (workload x rate x heap) grid, in parallel
+``plan``       precheck / dry-run a declarative experiment plan
 ``bench``      run one workload at one configuration and dump counters
 ``trace``      record a Chrome trace of one (wearing) run
 ``check``      run a randomized fault-injection audit campaign
 ``microbench`` time the hot-path kernels against their reference twins
 ``lifetime``   age a PCM module under a wear-management strategy
 ``workloads``  list the synthetic DaCapo-style workloads
+
+Grids can be spelled as flags or as declarative **experiment plans**
+(YAML/JSON files with Cartesian sweep expansion; see
+:mod:`repro.sim.plan` and the shipped files under ``plans/``):
+``repro plan FILE`` prechecks a plan against the schema and exits 2 on
+any violation, ``repro plan FILE --dry-run`` renders the fully
+expanded cell list (with estimated cache hits against ``--cache-dir``)
+without executing anything, and ``sweep --plan FILE`` /
+``figures --plan FILE`` execute one — through exactly the same
+cache/retry/quarantine machinery as the flag spelling, producing a
+bit-identical ``results`` section for the same grid.
 
 The ``figures`` and ``sweep`` commands accept ``--jobs`` (fan the grid
 out over worker processes; results are bit-identical to serial) and
@@ -44,6 +56,8 @@ Examples::
     python -m repro figures headline fig4 --scale 0.35
     python -m repro figures all --jobs 4 --cache-dir .repro-cache
     python -m repro sweep --workloads pmd xalan --rates 0 0.1 0.5 --jobs 4
+    python -m repro plan plans/smoke.yaml --dry-run --cache-dir .repro-cache
+    python -m repro sweep --plan plans/smoke.yaml --jobs 4
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
     python -m repro trace --workload luindex --scale 0.1 --out trace.json
     python -m repro check --seed 0
@@ -62,8 +76,9 @@ from dataclasses import replace
 from typing import List, Optional
 
 from .check.audit import VERIFY_LEVELS
-from .errors import SnapshotError
+from .errors import PlanError, SnapshotError
 from .faults.generator import FailureModel
+from .ioutil import atomic_write_json, atomic_write_text
 from .obs import log as obslog
 from .obs.metrics import (
     SWEEP_QUARANTINED_CELLS_TOTAL,
@@ -84,6 +99,7 @@ from .sim.machine import (
     run_wearing_benchmark,
 )
 from .sim.parallel import run_grid
+from .sim.plan import cell_slug, dry_run_payload, load_and_expand, render_dry_run
 from .sim.snapshot import CheckpointPolicy
 from .workloads.dacapo import DACAPO
 
@@ -145,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    figures.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="take the figure list, scale, and seeds from an experiment "
+        "plan (its 'figures' key) instead of the flags",
+    )
     _add_execution_arguments(figures)
     _add_fault_tolerance_arguments(figures)
     _add_observability_arguments(figures, directory=True)
@@ -182,9 +205,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="restart an interrupted sweep: replay completed cells from "
         "--cache-dir (required) and execute only the remainder",
     )
+    sweep.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="run the grid an experiment plan expands to (YAML/JSON, "
+        "see plans/); conflicts with the grid-shape flags",
+    )
     _add_execution_arguments(sweep)
     _add_fault_tolerance_arguments(sweep)
     _add_observability_arguments(sweep, directory=True)
+
+    plan = sub.add_parser(
+        "plan",
+        help="precheck and dry-run a declarative experiment plan",
+    )
+    plan.add_argument("file", metavar="FILE", help="plan file (YAML or JSON)")
+    plan.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="render the fully expanded cell list (count, per-cell "
+        "slugs, estimated cache hits) without executing anything",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit the dry run as JSON"
+    )
+    plan.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="estimate dry-run cache hits against this result cache",
+    )
+    plan.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the cache-hit estimate even with --cache-dir",
+    )
 
     bench = sub.add_parser("bench", help="run one workload configuration")
     bench.add_argument("workload")
@@ -521,13 +577,13 @@ def _build_cache(args) -> Optional[ResultCache]:
 
 
 def _trace_slug(config: RunConfig) -> str:
-    """Filesystem-safe cell identifier for per-cell trace files."""
-    rate = f"{config.failure_model.rate:g}".replace(".", "p")
-    heap = f"{config.heap_multiplier:g}".replace(".", "p")
-    return (
-        f"{config.workload}_r{rate}_h{heap}_L{config.immix_line}_"
-        f"{config.collector}_s{config.seed}"
-    )
+    """Filesystem-safe cell identifier for per-cell trace files.
+
+    Delegates to :func:`repro.sim.plan.cell_slug`, which covers every
+    sweepable dimension — an earlier version omitted clustering and
+    scale, so cells differing only there overwrote each other's traces.
+    """
+    return cell_slug(config)
 
 
 def _trace_metadata(config: RunConfig, result=None) -> dict:
@@ -548,8 +604,7 @@ def _trace_metadata(config: RunConfig, result=None) -> dict:
 
 
 def _write_metrics(registry: MetricsRegistry, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(registry.render_prometheus())
+    atomic_write_text(path, registry.render_prometheus())
     obslog.info(f"metrics: {path}")
 
 
@@ -562,8 +617,10 @@ def _render_phase_breakdown(breakdown: dict, total: float) -> List[str]:
 
 
 def _write_sweep_artifact(path: str, stats_dict: dict) -> None:
-    with open(path, "w") as handle:
-        json.dump(stats_dict, handle, indent=2)
+    # Atomic publish: a sweep killed mid-write must leave any previous
+    # artifact intact, not a torn BENCH_sweep.json — the same guarantee
+    # ResultCache.put makes for cache entries.
+    atomic_write_json(path, stats_dict, indent=2)
     cache = stats_dict.get("cache", {})
     obslog.info(
         f"sweep artifact: {path} ({stats_dict['cells']} cells, "
@@ -572,9 +629,48 @@ def _write_sweep_artifact(path: str, stats_dict: dict) -> None:
     )
 
 
+#: Grid-shape flags `sweep --plan` refuses to mix with a plan file:
+#: (flag, argparse attribute, parser default).
+_SWEEP_GRID_FLAGS = (
+    ("--workloads", "workloads", None),
+    ("--rates", "rates", [0.0, 0.10, 0.25, 0.50]),
+    ("--heaps", "heaps", [2.0]),
+    ("--clustering", "clustering", 0),
+    ("--line", "line", 256),
+    ("--seeds", "seeds", [0]),
+    ("--scale", "scale", 0.35),
+)
+
+
 def cmd_figures(args) -> int:
     _register_figures()
     names = list(args.names)
+    scale = args.scale
+    seeds = list(args.seeds)
+    if args.plan:
+        conflicts = []
+        if names != ["headline"]:
+            conflicts.append("explicit figure names")
+        if scale != 0.35:
+            conflicts.append("--scale")
+        if seeds != [0]:
+            conflicts.append("--seeds")
+        if conflicts:
+            obslog.warn(
+                "--plan supplies the figure list, scale, and seeds; "
+                f"drop {', '.join(conflicts)} or the plan"
+            )
+            return 2
+        plan = load_and_expand(args.plan)
+        if not plan.figures:
+            obslog.warn(
+                f"plan {plan.name!r} lists no figures; add a 'figures:' "
+                "key or run it with 'sweep --plan'"
+            )
+            return 2
+        names = list(plan.figures)
+        scale = plan.scale
+        seeds = list(plan.seeds)
     if names == ["all"] or "all" in names:
         names = list(_FIGURES)
     unknown = [n for n in names if n not in _FIGURES]
@@ -612,7 +708,7 @@ def cmd_figures(args) -> int:
             obslog.debug(f"trace: {path}")
 
     runner = ExperimentRunner(
-        seeds=tuple(args.seeds),
+        seeds=tuple(seeds),
         progress=progress,
         cache=cache,
         jobs=jobs,
@@ -623,13 +719,13 @@ def cmd_figures(args) -> int:
     )
     if args.json:
         payload = {
-            name: [result.to_dict() for result in _FIGURES[name](runner, args.scale)]
+            name: [result.to_dict() for result in _FIGURES[name](runner, scale)]
             for name in names
         }
         print(json.dumps(payload, indent=2))
     else:
         for name in names:
-            for result in _FIGURES[name](runner, args.scale):
+            for result in _FIGURES[name](runner, scale):
                 obslog.out(result.render())
                 obslog.out()
     if cache is not None:
@@ -658,27 +754,70 @@ def cmd_figures(args) -> int:
 def cmd_sweep(args) -> int:
     from .workloads.dacapo import DACAPO, analysis_suite
 
-    available = [spec.name for spec in DACAPO]
-    names = args.workloads or [spec.name for spec in analysis_suite()]
-    unknown = [name for name in names if name not in available]
-    if unknown:
-        obslog.warn(f"unknown workloads: {', '.join(unknown)}")
-        obslog.warn(f"available: {', '.join(available)}")
-        return 2
-    grid = [
-        RunConfig(
-            workload=name,
-            heap_multiplier=heap,
-            failure_model=FailureModel(rate=rate, hw_region_pages=args.clustering),
-            immix_line=args.line,
-            seed=seed,
-            scale=args.scale,
-        )
-        for name in names
-        for rate in args.rates
-        for heap in args.heaps
-        for seed in args.seeds
-    ]
+    # Conflicting intent is a usage error, not a warning: a user who
+    # asked for --resume or retries must not get a silently degraded
+    # run (consistent with the --resume-without---cache-dir check).
+    if args.trace:
+        conflicts = [
+            flag
+            for flag, present in (
+                ("--resume", args.resume),
+                ("--retries", args.retries is not None),
+                ("--retry-delay", args.retry_delay is not None),
+                ("--timeout", args.timeout is not None),
+            )
+            if present
+        ]
+        if conflicts:
+            obslog.warn(
+                "--trace runs the sweep serially in-process and cannot "
+                f"honour {', '.join(conflicts)}; drop --trace or the "
+                "conflicting flag(s)"
+            )
+            return 2
+    if args.plan:
+        conflicts = [
+            flag
+            for flag, attribute, default in _SWEEP_GRID_FLAGS
+            if getattr(args, attribute) != default
+        ]
+        if conflicts:
+            obslog.warn(
+                "--plan defines the grid; conflicting grid flags: "
+                f"{', '.join(conflicts)}"
+            )
+            return 2
+        plan = load_and_expand(args.plan)
+        if not plan.cells:
+            obslog.warn(
+                f"plan {plan.name!r} expands to no grid cells (a "
+                "figures-only plan?); run it with 'figures --plan'"
+            )
+            return 2
+        grid = list(plan.cells)
+        obslog.info(f"plan: {plan.name} expands to {len(grid)} cell(s)")
+    else:
+        available = [spec.name for spec in DACAPO]
+        names = args.workloads or [spec.name for spec in analysis_suite()]
+        unknown = [name for name in names if name not in available]
+        if unknown:
+            obslog.warn(f"unknown workloads: {', '.join(unknown)}")
+            obslog.warn(f"available: {', '.join(available)}")
+            return 2
+        grid = [
+            RunConfig(
+                workload=name,
+                heap_multiplier=heap,
+                failure_model=FailureModel(rate=rate, hw_region_pages=args.clustering),
+                immix_line=args.line,
+                seed=seed,
+                scale=args.scale,
+            )
+            for name in names
+            for rate in args.rates
+            for heap in args.heaps
+            for seed in args.seeds
+        ]
     if args.resume and (args.no_cache or not args.cache_dir):
         obslog.warn(
             "--resume replays completed cells from the persistent cache; "
@@ -686,10 +825,11 @@ def cmd_sweep(args) -> int:
         )
         return 2
     if args.trace:
-        if args.resume or _build_retry_policy(args) is not None:
+        if _build_retry_policy(args) is not None:
+            # Only an armed REPRO_CHAOS can reach this now: the
+            # explicit-flag conflicts already errored out above.
             obslog.warn(
-                "--trace runs serially in-process; ignoring "
-                "--resume/--retries/--retry-delay/--timeout"
+                "--trace runs serially in-process; ignoring REPRO_CHAOS"
             )
         results, stats = _run_traced_sweep(args, grid)
     else:
@@ -979,8 +1119,7 @@ def cmd_microbench(args) -> int:
         )
         for cell in end_to_end["divergent_cells"]:
             obslog.warn(f"divergent cell: {cell}")
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_json(args.out, payload, indent=2)
     obslog.info(f"microbench artifact: {args.out}")
     if not payload_ok(payload):
         obslog.warn("fast and reference kernels diverged; see the artifact")
@@ -1053,6 +1192,34 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    plan = load_and_expand(args.file)
+    cache = None
+    if args.dry_run and args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    if args.dry_run:
+        if args.json:
+            print(json.dumps(dry_run_payload(plan, cache), indent=2))
+        else:
+            obslog.out(render_dry_run(plan, cache))
+        return 0
+    # Precheck-only invocation: the plan compiled cleanly (load_and_expand
+    # raised PlanError otherwise), so report the summary and exit 0.
+    obslog.out(f"plan: {plan.name}  [{plan.source}]")
+    if plan.description:
+        obslog.out(f"  {plan.description}")
+    for axis, size in plan.axes.items():
+        obslog.out(f"  axis {axis}: {size} value(s)")
+    obslog.out(f"  cells: {len(plan.cells)}")
+    if plan.figures:
+        obslog.out(f"  figures: {', '.join(plan.figures)}")
+    obslog.out(
+        "precheck OK; preview with --dry-run, execute with "
+        "'sweep --plan' or 'figures --plan'"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obslog.setup(-1 if args.quiet else args.verbose)
@@ -1065,9 +1232,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "microbench": cmd_microbench,
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,
+        "plan": cmd_plan,
     }
     try:
         return handlers[args.command](args)
+    except PlanError as exc:
+        # A plan that fails its precheck is a usage error; report every
+        # problem (the precheck collects all of them), not a traceback.
+        for problem in exc.problems:
+            obslog.warn(f"plan: {problem.where}: {problem.message}")
+        return 2
     except SnapshotError as exc:
         # Unreadable/corrupt/stale checkpoint files are usage errors
         # (bad --resume-from path, snapshot from edited sources), not

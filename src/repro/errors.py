@@ -54,6 +54,25 @@ class SnapshotError(ReproError):
     """
 
 
+class PlanError(ConfigError):
+    """An experiment plan failed its precheck.
+
+    Raised by :mod:`repro.sim.plan` when a declarative plan file cannot
+    be compiled into a run grid: unknown keys or workloads, type/range
+    violations, placeholder typos, empty axes, or duplicate cells. The
+    ``problems`` attribute carries every
+    :class:`repro.sim.plan.PlanProblem` found — the precheck reports
+    all of them before any cell runs, never just the first.
+    """
+
+    def __init__(self, problems) -> None:
+        self.problems = list(problems)
+        lines = [f"{p.where}: {p.message}" for p in self.problems]
+        super().__init__(
+            "experiment plan failed precheck:\n  " + "\n  ".join(lines)
+        )
+
+
 class ChaosError(ReproError):
     """A failure injected by the chaos harness (never a real bug).
 

@@ -1,0 +1,59 @@
+"""Atomic file publication for artifacts.
+
+Every artifact this package writes — ``BENCH_sweep.json``,
+``BENCH_kernels.json``, Prometheus metrics files — is a publication
+point some other process may read or a resumed run may depend on. A
+writer killed mid-``write()`` must never leave a torn file behind:
+the crash-safety story (fault-tolerant sweeps, ``--resume``) only
+holds if interrupting a run cannot corrupt what it already produced.
+
+The pattern matches :meth:`repro.sim.cache.ResultCache.put`: write to
+a temp file in the destination directory, then ``os.replace`` — a
+reader sees the old content or the new content, never a prefix. On
+any failure the temp file is unlinked, so the worst outcome of a
+killed writer is a leaked ``*.tmp`` alongside an intact artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2) -> None:
+    """Publish ``payload`` as JSON at ``path`` atomically.
+
+    Serialization happens before the rename, so a payload that fails
+    to serialize (or a writer killed mid-dump) leaves any existing
+    file at ``path`` untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -12,6 +12,7 @@ from .lifetime import (
 )
 from .machine import RunConfig, RunResult, min_heap_bytes, run_benchmark
 from .parallel import SweepStats, default_jobs, run_grid
+from .plan import ExpandedPlan, PlanProblem, cell_slug, load_and_expand, precheck
 from .report import render_bars, render_series, render_table
 from .swap_study import SwapStudyResult, render_swap_study, run_swap_study
 
@@ -25,6 +26,11 @@ __all__ = [
     "SweepStats",
     "default_jobs",
     "run_grid",
+    "ExpandedPlan",
+    "PlanProblem",
+    "cell_slug",
+    "load_and_expand",
+    "precheck",
     "BenchmarkMeasurement",
     "ExperimentRunner",
     "geomean",

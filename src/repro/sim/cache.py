@@ -160,6 +160,16 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def contains(self, config: RunConfig) -> bool:
+        """Whether a completed entry exists, without reading it.
+
+        A cheap existence probe for dry runs estimating cache hits;
+        unlike :meth:`get` it neither deserializes the entry nor
+        touches the hit/miss counters (an estimate must not skew the
+        statistics of the real run that follows).
+        """
+        return self._path(self.key(config)).is_file()
+
     def put(self, config: RunConfig, result: RunResult) -> None:
         path = self._path(self.key(config))
         path.parent.mkdir(parents=True, exist_ok=True)

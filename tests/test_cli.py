@@ -206,8 +206,8 @@ class TestCommands:
         assert code == 0
         files = sorted(p.name for p in traces.iterdir())
         assert files == [
-            "luindex_r0_h2_L256_sticky-immix_s0.trace.json",
-            "luindex_r0p1_h2_L256_sticky-immix_s0.trace.json",
+            "luindex_r0_h2_L256_c0_sticky-immix_s0_x0p2.trace.json",
+            "luindex_r0p1_h2_L256_c0_sticky-immix_s0_x0p2.trace.json",
         ]
         payload = json.loads(out.read_text())
         assert payload["cells"] == 2
@@ -223,3 +223,176 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "retire page on first failure" in out
         assert "iter" in out
+
+
+class TestTraceConflicts:
+    """--trace cannot honour resume/retry intent: hard usage errors."""
+
+    def test_trace_resume_is_an_error(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--trace", str(tmp_path / "t"), "--resume",
+             "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [["--retries", "2"], ["--retry-delay", "0.1"], ["--timeout", "5"]],
+    )
+    def test_trace_retry_flags_are_errors(self, capsys, tmp_path, extra):
+        code = main(["sweep", "--trace", str(tmp_path / "t")] + extra)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert extra[0] in err
+        # Nothing ran: no trace directory, no artifact.
+        assert not (tmp_path / "t").exists()
+
+
+def _write_plan(tmp_path, text, name="plan.yaml"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+SMOKE_PLAN = """\
+plan: repro.plan/1
+name: smoke
+defaults:
+  scale: 0.2
+axes:
+  workload: [luindex]
+  rate: [0.0, 0.1]
+"""
+
+
+class TestPlanCommand:
+    def test_precheck_ok(self, capsys, tmp_path):
+        assert main(["plan", _write_plan(tmp_path, SMOKE_PLAN)]) == 0
+        out = capsys.readouterr().out
+        assert "precheck OK" in out
+        assert "cells: 2" in out
+
+    def test_precheck_reports_every_problem(self, capsys, tmp_path):
+        path = _write_plan(
+            tmp_path,
+            "plan: repro.plan/1\n"
+            "name: bad\n"
+            "defaults:\n"
+            "  heap: -1\n"
+            "axes:\n"
+            "  workload: [luindex, nosuch]\n",
+        )
+        assert main(["plan", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'nosuch'" in err
+        assert "positive heap multiplier" in err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["plan", str(tmp_path / "nope.yaml")]) == 2
+        assert "cannot read plan" in capsys.readouterr().err
+
+    def test_dry_run_lists_cells_without_executing(self, capsys, tmp_path):
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        assert main(["plan", path, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "cells         2" in out
+        assert "luindex_r0_h2_L256_c0_sticky-immix_s0_x0p2" in out
+        assert "luindex_r0p1_h2_L256_c0_sticky-immix_s0_x0p2" in out
+
+    def test_dry_run_json_payload(self, capsys, tmp_path):
+        import json
+
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        assert main(["plan", path, "--dry-run", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.plan-dry-run/1"
+        assert payload["cells"] == 2
+        assert [c["rate"] for c in payload["cell_list"]] == [0.0, 0.1]
+        assert all(c["cached"] is False for c in payload["cell_list"])
+
+    def test_dry_run_estimates_cache_hits(self, capsys, tmp_path):
+        import json
+
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        cache = tmp_path / "cache"
+        # Warm one of the two cells via the flag spelling.
+        assert main(
+            ["sweep", "--workloads", "luindex", "--rates", "0",
+             "--scale", "0.2", "--out", str(tmp_path / "warm.json"),
+             "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["plan", path, "--dry-run", "--json", "--cache-dir", str(cache)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["estimated_hits"] == 1
+        assert payload["cache"]["estimated_misses"] == 1
+
+
+class TestSweepPlan:
+    def test_plan_matches_flag_spelling_bit_for_bit(self, capsys, tmp_path):
+        import json
+
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        plan_out = tmp_path / "plan_sweep.json"
+        flag_out = tmp_path / "flag_sweep.json"
+        assert main(["sweep", "--plan", path, "--out", str(plan_out)]) == 0
+        assert main(
+            ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+             "--heaps", "2.0", "--scale", "0.2", "--out", str(flag_out)]
+        ) == 0
+        capsys.readouterr()
+        plan_payload = json.loads(plan_out.read_text())
+        flag_payload = json.loads(flag_out.read_text())
+        assert plan_payload["results"] == flag_payload["results"]
+
+    def test_plan_conflicts_with_grid_flags(self, capsys, tmp_path):
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        code = main(["sweep", "--plan", path, "--rates", "0", "0.5"])
+        assert code == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_schema_violation_exits_2(self, capsys, tmp_path):
+        path = _write_plan(
+            tmp_path,
+            "plan: repro.plan/1\nname: bad\naxes:\n  workload: [nosuch]\n",
+        )
+        assert main(["sweep", "--plan", path]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_figures_only_plan_is_rejected(self, capsys, tmp_path):
+        path = _write_plan(
+            tmp_path,
+            "plan: repro.plan/1\nname: figs\nfigures: [headline]\n",
+        )
+        assert main(["sweep", "--plan", path]) == 2
+        assert "no grid cells" in capsys.readouterr().err
+
+
+class TestFiguresPlan:
+    def test_figures_plan_runs_listed_figures(self, capsys, tmp_path):
+        path = _write_plan(
+            tmp_path,
+            "plan: repro.plan/1\n"
+            "name: quick\n"
+            "defaults:\n"
+            "  scale: 0.12\n"
+            "figures: [headline]\n",
+        )
+        assert main(["figures", "--plan", path]) == 0
+        assert "Headline" in capsys.readouterr().out
+
+    def test_figures_plan_without_figures_is_rejected(self, capsys, tmp_path):
+        path = _write_plan(tmp_path, SMOKE_PLAN)
+        assert main(["figures", "--plan", path]) == 2
+        assert "no figures" in capsys.readouterr().err
+
+    def test_figures_plan_conflicts_with_scale(self, capsys, tmp_path):
+        path = _write_plan(
+            tmp_path,
+            "plan: repro.plan/1\nname: figs\nfigures: [headline]\n",
+        )
+        assert main(["figures", "--plan", path, "--scale", "0.1"]) == 2
+        assert "--scale" in capsys.readouterr().err
