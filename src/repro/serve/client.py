@@ -1,0 +1,183 @@
+"""Stdlib client for the ``repro serve`` daemon.
+
+:class:`ServeClient` wraps the wire protocol — submit a plan, poll its
+job, fetch the artifact — over ``urllib`` so tests, CI, and scripts
+need no third-party HTTP stack. Plan *files* are loaded with
+:func:`repro.sim.plan.load_plan`, which resolves and strips ``include``
+chains client-side; the service only ever sees flattened documents.
+
+Run as a module it is a one-shot submit-and-wait::
+
+    python -m repro.serve.client plans/smoke.yaml \
+        --url http://127.0.0.1:8321 --out artifact.json
+
+exiting with the offline CLI's codes: 0 completed, 2 rejected by the
+precheck (the 422 path), 3 partial (quarantined cells), 1 failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..ioutil import atomic_write_json
+from ..obs import log as obslog
+from ..sim.plan import load_plan
+from . import protocol
+
+
+class ServeError(Exception):
+    """A non-422 HTTP failure talking to the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(
+                json.dumps(body).encode("utf-8") if body is not None else None
+            ),
+            headers={"Content-Type": protocol.CONTENT_JSON}
+            if body is not None
+            else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                raw = resp.read()
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = None
+            if exc.code == 422 and payload is not None:
+                raise protocol.PlanRejected(
+                    payload.get("problems", [])
+                ) from exc
+            detail = (
+                payload.get("error") if isinstance(payload, dict) else None
+            ) or raw.decode("utf-8", "replace")
+            raise ServeError(exc.code, detail) from exc
+        if content_type.startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    def submit(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a plan document; returns the new job's status.
+
+        Raises :class:`~repro.serve.protocol.PlanRejected` when the
+        service's precheck rejects the plan (HTTP 422).
+        """
+        return self._request("/jobs", body=document)
+
+    def submit_file(self, path: Union[str, Path]) -> Dict[str, Any]:
+        """Load a plan file (resolving includes locally) and submit it."""
+        return self.submit(load_plan(path))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("/jobs")["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in protocol.TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def artifact(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/jobs/{job_id}/artifact")
+
+    def cell(self, job_id: str, index: int) -> Dict[str, Any]:
+        return self._request(f"/jobs/{job_id}/cells/{index}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/healthz")
+
+    def metrics(self) -> str:
+        return self._request("/metrics")
+
+
+# ----------------------------------------------------------------------
+# One-shot CLI: submit, wait, fetch
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="submit a plan to a running repro serve daemon and "
+        "wait for its artifact",
+    )
+    parser.add_argument("plan", help="plan file (YAML or JSON)")
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the finished artifact to PATH",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    parser.add_argument("--poll", type=float, default=0.2, metavar="S")
+    args = parser.parse_args(argv)
+
+    client = ServeClient(args.url)
+    try:
+        submitted = client.submit_file(args.plan)
+    except protocol.PlanRejected as exc:
+        for problem in exc.problems:
+            obslog.warn(f"plan: {problem['where']}: {problem['message']}")
+        return 2
+    job_id = submitted["id"]
+    obslog.info(f"submitted {args.plan} as {job_id} ({submitted['cells']} cells)")
+    status = client.wait(job_id, timeout_s=args.timeout, poll_s=args.poll)
+    if status["state"] == protocol.STATE_FAILED:
+        obslog.warn(f"job {job_id} failed: {status['error']}")
+        return 1
+    artifact = client.artifact(job_id)
+    if args.out:
+        atomic_write_json(args.out, artifact, indent=2)
+        obslog.info(f"artifact: {args.out}")
+    else:
+        print(json.dumps(artifact, indent=2))
+    if status["state"] == protocol.STATE_PARTIAL:
+        obslog.warn(
+            f"job {job_id} finished partial: {status['quarantined']} "
+            "quarantined cell(s) absent from the artifact"
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,312 @@
+"""HTTP surface of the experiment service (stdlib ``http.server``).
+
+Endpoints
+---------
+``POST /jobs``                 submit a ``repro.plan/1`` document (JSON
+                               body) — 201 with the job status, 422
+                               with the full precheck problem list
+``GET  /jobs``                 list every job's status
+``GET  /jobs/<id>``            one job's status (poll this)
+``GET  /jobs/<id>/artifact``   finished job's ``BENCH_sweep.json``-shaped
+                               artifact (409 while queued/running)
+``GET  /jobs/<id>/cells``      per-cell directory (index -> slug)
+``GET  /jobs/<id>/cells/<n>``  one cell's RunResult document
+``GET  /healthz``              pool / queue / cache state
+``GET  /metrics``              Prometheus text exposition
+
+The server is a ``ThreadingHTTPServer``: every request gets a thread,
+so scrapes and submissions proceed while a job runs. All of them talk
+to the single :class:`~repro.serve.jobs.JobManager` worker, the single
+shared :class:`~repro.sim.cache.ResultCache`, and the single (lock-
+protected) :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import log as obslog
+from ..obs.metrics import MetricsRegistry
+from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
+from ..sim.cache import ResultCache
+from ..sim.ftexec import RetryPolicy
+from . import protocol
+from .jobs import JobManager
+
+#: Largest accepted POST body; a plan document is a few KB, so this is
+#: generous while still bounding a hostile or confused client.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
+_ARTIFACT_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/artifact$")
+_CELLS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/cells$")
+_CELL_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/cells/(\d+)$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        obslog.debug(f"serve: {self.address_string()} {format % args}")
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.service.manager  # type: ignore[attr-defined]
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.server.service.registry  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _send_payload(
+        self, code: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self._send_payload(code, body, protocol.CONTENT_JSON)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, protocol.error_payload(message))
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "malformed Content-Length")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "empty body; POST a repro.plan/1 document")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server convention)
+        if self.path.rstrip("/") != "/jobs":
+            self._send_error_json(404, f"no POST route {self.path!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            document = json.loads(body)
+        except ValueError as exc:
+            self._send_error_json(400, f"body is not valid JSON: {exc}")
+            return
+        try:
+            job = self.manager.submit(
+                document, source=f"<POST /jobs from {self.address_string()}>"
+            )
+        except protocol.PlanRejected as exc:
+            # The CLI's exit-2 precheck semantics, as a 422 with every
+            # problem at once.
+            self._send_json(422, protocol.problems_payload(exc.problems))
+            return
+        self._send_json(201, self.manager.status(job))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, self.manager.health())
+            return
+        if path == "/metrics":
+            body = self.registry.render_prometheus().encode("utf-8")
+            self._send_payload(200, body, protocol.CONTENT_PROMETHEUS)
+            return
+        if path.rstrip("/") == "/jobs":
+            manager = self.manager
+            statuses = []
+            for job_id in manager.job_ids():
+                job = manager.get(job_id)
+                if job is not None:
+                    statuses.append(manager.status(job))
+            self._send_json(
+                200, {"schema": protocol.PROTOCOL_SCHEMA, "jobs": statuses}
+            )
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            job = self.manager.get(match.group(1))
+            if job is None:
+                self._send_error_json(404, f"no job {match.group(1)!r}")
+                return
+            self._send_json(200, self.manager.status(job))
+            return
+        match = _ARTIFACT_PATH.match(path)
+        if match:
+            self._serve_artifact(match.group(1))
+            return
+        match = _CELLS_PATH.match(path)
+        if match:
+            job = self.manager.get(match.group(1))
+            if job is None:
+                self._send_error_json(404, f"no job {match.group(1)!r}")
+                return
+            self._send_json(
+                200,
+                {
+                    "schema": protocol.PROTOCOL_SCHEMA,
+                    "job": job.id,
+                    "cells": self.manager.cell_index(job),
+                },
+            )
+            return
+        match = _CELL_PATH.match(path)
+        if match:
+            self._serve_cell(match.group(1), int(match.group(2)))
+            return
+        self._send_error_json(404, f"no route {path!r}")
+
+    def _finished_artifact(
+        self, job_id: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[Tuple[int, str]]]:
+        job = self.manager.get(job_id)
+        if job is None:
+            return None, (404, f"no job {job_id!r}")
+        if job.state == protocol.STATE_FAILED:
+            return None, (409, f"job {job_id} failed: {job.error}")
+        if not job.terminal:
+            return None, (
+                409,
+                f"job {job_id} is {job.state}; poll /jobs/{job_id} until a "
+                f"terminal state ({', '.join(protocol.TERMINAL_STATES)})",
+            )
+        assert job.artifact is not None
+        return job.artifact, None
+
+    def _serve_artifact(self, job_id: str) -> None:
+        artifact, problem = self._finished_artifact(job_id)
+        if problem is not None:
+            self._send_error_json(*problem)
+            return
+        self._send_json(200, artifact)
+
+    def _serve_cell(self, job_id: str, index: int) -> None:
+        artifact, problem = self._finished_artifact(job_id)
+        if problem is not None:
+            self._send_error_json(*problem)
+            return
+        results = artifact["results"]
+        if not 0 <= index < len(results):
+            self._send_error_json(
+                404,
+                f"cell index {index} out of range: job {job_id} holds "
+                f"{len(results)} result(s) (quarantined cells are absent)",
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "schema": protocol.PROTOCOL_SCHEMA,
+                "job": job_id,
+                "index": index,
+                "result": results[index],
+            },
+        )
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: "ExperimentService") -> None:
+        self.service = service
+        super().__init__(address, handler)
+
+
+class ExperimentService:
+    """The assembled daemon: job manager + threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound ``(host, port)``. :meth:`start` runs the server in a
+    background thread and returns (tests, embedding); the CLI calls
+    :meth:`serve_forever` instead and blocks until interrupted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        cache: Optional[ResultCache] = None,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.manager = JobManager(
+            cache=cache,
+            jobs=jobs,
+            retry=retry,
+            timeout_s=timeout_s,
+            registry=self.registry,
+            cost_model=cost_model,
+        )
+        self._httpd = _Server((host, port), _Handler, service=self)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.manager.cache
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self, worker: bool = True) -> None:
+        """Serve in a background thread.
+
+        ``worker=False`` brings up only the HTTP surface with the job
+        worker parked — tests use it to observe pre-terminal states
+        deterministically; call ``manager.start()`` later to drain.
+        """
+        if worker:
+            self.manager.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def serve_forever(self) -> None:
+        self.manager.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.manager.stop()
+
+    def __enter__(self) -> "ExperimentService":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

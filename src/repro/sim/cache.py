@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from functools import lru_cache
 from pathlib import Path
 from typing import Iterable, Optional, Union
@@ -34,6 +35,13 @@ from .machine import RunConfig, RunResult
 
 #: Bump manually on cache-format (not simulator) changes.
 SCHEMA_VERSION = 1
+
+#: Temp files younger than this survive :meth:`ResultCache.sweep_orphans`.
+#: A live ``put`` holds its temp file for milliseconds (one JSON dump
+#: plus a rename), so anything this old was abandoned by a killed
+#: writer; sweeping younger files would race writers in other
+#: processes — the daemon and a sweep sharing one cache directory.
+ORPHAN_MIN_AGE_S = 60.0
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +159,13 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        # An entry from a different cache-format version is a miss even
+        # if its fields happen to align with today's RunResult — the
+        # key rolls with SCHEMA_VERSION, but a directory shared with a
+        # newer writer can still hold foreign-schema files.
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
         try:
             result = result_from_dict(data["result"])
         except (KeyError, TypeError):
@@ -161,49 +176,74 @@ class ResultCache:
         return result
 
     def contains(self, config: RunConfig) -> bool:
-        """Whether a completed entry exists, without reading it.
+        """Whether :meth:`get` would hit, without deserializing.
 
-        A cheap existence probe for dry runs estimating cache hits;
-        unlike :meth:`get` it neither deserializes the entry nor
-        touches the hit/miss counters (an estimate must not skew the
-        statistics of the real run that follows).
+        The probe for dry runs estimating cache hits: it parses the
+        entry and checks the schema tag (so corrupt, truncated, or
+        foreign-schema files report as misses, matching :meth:`get`)
+        but skips the RunResult reconstruction and never touches the
+        hit/miss counters (an estimate must not skew the statistics of
+        the real run that follows).
         """
-        return self._path(self.key(config)).is_file()
+        try:
+            data = json.loads(self._path(self.key(config)).read_text())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(data, dict)
+            and data.get("schema") == SCHEMA_VERSION
+            and "result" in data
+        )
 
     def put(self, config: RunConfig, result: RunResult) -> None:
         path = self._path(self.key(config))
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": SCHEMA_VERSION, "result": result_to_dict(result)}
         # Atomic publish: a concurrent reader sees the old state or the
-        # new one, never a partial file.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
+        # new one, never a partial file. A concurrent sweep_orphans may
+        # unlink the temp file between the dump and the rename (the age
+        # threshold makes that vanishingly rare, not impossible); the
+        # write retries once through a fresh temp file.
+        for attempt in range(2):
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            break
         self.stores += 1
 
-    def sweep_orphans(self) -> int:
+    def sweep_orphans(self, min_age_s: float = ORPHAN_MIN_AGE_S) -> int:
         """Delete temp files abandoned by killed writers; returns the count.
 
         :meth:`put` publishes atomically, so a worker killed mid-write
         can only ever leak its unrenamed ``*.tmp`` file — harmless to
         correctness but accumulating forever. Long-lived entry points
-        call this once on startup; racing a *live* writer is safe
-        because ``os.replace`` on the already-unlinked temp file simply
-        fails and that writer retries the cell on the next sweep.
+        call this on startup. Only temp files older than ``min_age_s``
+        are swept: a younger one may belong to a *live* writer in
+        another process, and unlinking it would make that writer's
+        ``os.replace`` fail (``put`` retries once, but the sweep should
+        not be the thing forcing retries). Pass ``min_age_s=0`` to
+        reclaim everything, e.g. when no writer can possibly be alive.
         """
         if not self.root.is_dir():
             return 0
         removed = 0
+        cutoff = time.time() - min_age_s
         for orphan in self.root.glob("*/*.tmp"):
             try:
+                if orphan.stat().st_mtime > cutoff:
+                    continue
                 orphan.unlink()
                 removed += 1
             except OSError:

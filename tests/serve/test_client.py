@@ -1,0 +1,68 @@
+"""Client-side behaviors: file loading, include flattening, the
+one-shot ``python -m repro.serve.client`` entry point."""
+
+import json
+
+import pytest
+
+from repro.serve import ExperimentService, ServeClient
+from repro.serve.client import main as client_main
+from repro.sim.cache import ResultCache
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ExperimentService(port=0, cache=ResultCache(tmp_path / "cache"), jobs=1)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+def write_plan_with_include(tmp_path):
+    (tmp_path / "base.yaml").write_text(
+        "defaults:\n  scale: 0.05\n  workload: luindex\n"
+    )
+    plan = tmp_path / "plan.yaml"
+    plan.write_text(
+        "plan: repro.plan/1\n"
+        "name: included\n"
+        "include: [base.yaml]\n"
+        "axes:\n  rate: [0.0]\n"
+    )
+    return plan
+
+
+class TestSubmitFile:
+    def test_includes_resolve_client_side(self, service, tmp_path):
+        # load_plan merges and strips the include chain, so the server
+        # (which rejects raw `include` keys) accepts the submission.
+        client = ServeClient(service.url)
+        status = client.submit_file(write_plan_with_include(tmp_path))
+        done = client.wait(status["id"], timeout_s=60)
+        assert done["state"] == "completed"
+        assert done["plan"] == "included"
+        assert done["cells"] == 1
+
+
+class TestOneShotMain:
+    def test_submit_wait_fetch(self, service, tmp_path):
+        plan = write_plan_with_include(tmp_path)
+        out = tmp_path / "artifact.json"
+        code = client_main(
+            [str(plan), "--url", service.url, "--out", str(out), "--poll", "0.05"]
+        )
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro.sweep/2"
+        assert len(artifact["results"]) == 1
+
+    def test_rejected_plan_exits_2(self, service, tmp_path):
+        plan = tmp_path / "bad.yaml"
+        plan.write_text(
+            "plan: repro.plan/1\nname: bad\n"
+            "defaults:\n  scale: 0.05\n  workload: no-such-workload\n"
+            "axes:\n  rate: [0.0]\n"
+        )
+        assert client_main([str(plan), "--url", service.url]) == 2

@@ -1,0 +1,263 @@
+"""End-to-end tests of the experiment service over real HTTP.
+
+Every test binds an ephemeral port; the plans are tiny (scale 0.05)
+so a cell runs in tens of milliseconds. The acceptance property lives
+in ``TestConcurrentClients``: two clients submitting the same plan get
+bit-identical artifacts, and each cell is simulated exactly once.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    ExperimentService,
+    PlanRejected,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.jobs import JobManager
+from repro.sim.cache import ResultCache, result_to_dict
+from repro.sim.parallel import run_grid
+from repro.sim.plan import expand
+
+TINY_PLAN = {
+    "plan": "repro.plan/1",
+    "name": "tiny",
+    "description": "two-cell service test grid",
+    "defaults": {"scale": 0.05},
+    "axes": {"workload": ["luindex"], "rate": [0.0, 0.1]},
+}
+
+BROKEN_PLAN = {
+    "plan": "repro.plan/1",
+    "name": "broken",
+    "defaults": {"scale": 0.05},
+    "axes": {"workload": ["luindex", "no-such-workload"], "rate": [2.5]},
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ExperimentService(port=0, cache=ResultCache(tmp_path / "cache"), jobs=1)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    return ServeClient(service.url, timeout_s=30.0)
+
+
+def offline_results(document):
+    """The results section `sweep --plan` would write for this plan."""
+    plan = expand(dict(document))
+    results, _stats = run_grid(plan.cells)
+    return [result_to_dict(result) for result in results]
+
+
+class TestJobLifecycle:
+    def test_submit_poll_fetch(self, client):
+        status = client.submit(TINY_PLAN)
+        assert status["id"].startswith("job-")
+        assert status["cells"] == 2
+        assert status["plan"] == "tiny"
+        assert status["links"]["artifact"].endswith("/artifact")
+        done = client.wait(status["id"], timeout_s=60)
+        assert done["state"] == "completed"
+        assert done["quarantined"] == 0
+        assert done["finished_unix"] >= done["started_unix"]
+        artifact = client.artifact(status["id"])
+        assert artifact["schema"] == "repro.sweep/2"
+        assert len(artifact["results"]) == 2
+        assert artifact["job"]["id"] == status["id"]
+
+    def test_artifact_is_bit_identical_to_offline_sweep(self, client):
+        status = client.submit(TINY_PLAN)
+        client.wait(status["id"], timeout_s=60)
+        served = client.artifact(status["id"])["results"]
+        assert json.dumps(served, sort_keys=True) == json.dumps(
+            offline_results(TINY_PLAN), sort_keys=True
+        )
+
+    def test_cell_endpoints(self, client):
+        status = client.submit(TINY_PLAN)
+        client.wait(status["id"], timeout_s=60)
+        cell = client.cell(status["id"], 1)
+        assert cell["result"]["config"]["workload"] == "luindex"
+        assert cell["result"]["config"]["failure_model"]["rate"] == 0.1
+        with pytest.raises(ServeError) as excinfo:
+            client.cell(status["id"], 99)
+        assert excinfo.value.status == 404
+
+    def test_job_listing(self, client):
+        first = client.submit(TINY_PLAN)
+        client.wait(first["id"], timeout_s=60)
+        listed = client.jobs()
+        assert [job["id"] for job in listed] == [first["id"]]
+
+
+class TestErrorMapping:
+    def test_precheck_rejection_is_422_with_all_problems(self, client):
+        with pytest.raises(PlanRejected) as excinfo:
+            client.submit(BROKEN_PLAN)
+        wheres = {problem["where"] for problem in excinfo.value.problems}
+        # Both problems arrive at once — exit-2 semantics, not fail-fast.
+        assert any("workload" in where for where in wheres)
+        assert any("rate" in where for where in wheres)
+
+    def test_include_must_be_resolved_client_side(self, client):
+        with pytest.raises(PlanRejected) as excinfo:
+            client.submit({**TINY_PLAN, "include": ["defaults.yaml"]})
+        assert excinfo.value.problems[0]["where"] == "include"
+
+    def test_figures_only_plan_is_rejected(self, client):
+        with pytest.raises(PlanRejected) as excinfo:
+            client.submit(
+                {"plan": "repro.plan/1", "name": "figs", "figures": ["fig7"]}
+            )
+        assert "figures-only" in excinfo.value.problems[0]["message"]
+
+    def test_malformed_json_is_400(self, service):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            service.url + "/jobs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.status("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("/no/such/route")
+        assert excinfo.value.status == 404
+
+
+class TestPreTerminalStates:
+    def test_artifact_before_completion_is_409(self, tmp_path):
+        svc = ExperimentService(
+            port=0, cache=ResultCache(tmp_path / "cache"), jobs=1
+        )
+        svc.start(worker=False)  # HTTP up, job worker parked
+        try:
+            client = ServeClient(svc.url)
+            status = client.submit(TINY_PLAN)
+            assert status["state"] == "queued"
+            with pytest.raises(ServeError) as excinfo:
+                client.artifact(status["id"])
+            assert excinfo.value.status == 409
+            svc.manager.start()  # now drain and fetch for real
+            client.wait(status["id"], timeout_s=60)
+            assert client.artifact(status["id"])["results"]
+        finally:
+            svc.shutdown()
+
+    def test_failed_job_reports_error(self, service, client, monkeypatch):
+        import repro.serve.jobs as jobs_module
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("executor blew up")
+
+        monkeypatch.setattr(jobs_module, "run_grid", explode)
+        status = client.submit(TINY_PLAN)
+        done = client.wait(status["id"], timeout_s=60)
+        assert done["state"] == "failed"
+        assert "executor blew up" in done["error"]
+        with pytest.raises(ServeError) as excinfo:
+            client.artifact(status["id"])
+        assert excinfo.value.status == 409
+
+
+class TestObservability:
+    def test_healthz_reports_pool_and_cache(self, service, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["pool"]["jobs"] == 1
+        assert health["pool"]["worker_alive"] is True
+        assert health["cache"]["dir"].endswith("cache")
+        status = client.submit(TINY_PLAN)
+        client.wait(status["id"], timeout_s=60)
+        health = client.healthz()
+        assert health["queue"]["completed"] == 1
+        assert health["cache"]["stores"] == 2
+
+    def test_metrics_exposition(self, client):
+        status = client.submit(TINY_PLAN)
+        client.wait(status["id"], timeout_s=60)
+        text = client.metrics()
+        assert "repro_serve_jobs_submitted_total 1" in text
+        assert "repro_serve_jobs_completed_total 1" in text
+        assert "repro_serve_cells_executed_total 2" in text
+        assert "repro_serve_cache_stores 2" in text
+        assert "repro_serve_job_wall_seconds_count 1" in text
+
+
+class TestConcurrentClients:
+    def test_same_plan_twice_computes_each_cell_once(self, service):
+        """The acceptance property: two clients POST the same plan
+        simultaneously; each cell is simulated exactly once (shared
+        cache, stores counter) and both receive bit-identical results
+        that also match the offline sweep."""
+        barrier = threading.Barrier(2)
+        outcomes = [None, None]
+
+        def one_client(slot):
+            client = ServeClient(service.url, timeout_s=30.0)
+            barrier.wait()
+            status = client.submit(TINY_PLAN)
+            done = client.wait(status["id"], timeout_s=120)
+            outcomes[slot] = (done, client.artifact(status["id"]))
+
+        threads = [
+            threading.Thread(target=one_client, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        (done_a, artifact_a), (done_b, artifact_b) = outcomes
+        assert done_a["state"] == done_b["state"] == "completed"
+        assert done_a["id"] != done_b["id"]
+        # Bit-identical across clients and vs the offline spelling.
+        results_a = json.dumps(artifact_a["results"], sort_keys=True)
+        results_b = json.dumps(artifact_b["results"], sort_keys=True)
+        assert results_a == results_b
+        assert results_a == json.dumps(
+            offline_results(TINY_PLAN), sort_keys=True
+        )
+        # Exactly one simulation per distinct cell: the second job
+        # replayed entirely from the shared cache.
+        assert service.cache.stores == 2
+        assert service.cache.hits == 2
+        assert done_a["executed_cells"] + done_b["executed_cells"] == 2
+
+    def test_distinct_plans_share_overlapping_cells(self, service):
+        client = ServeClient(service.url, timeout_s=30.0)
+        first = client.submit(TINY_PLAN)
+        client.wait(first["id"], timeout_s=60)
+        superset = dict(TINY_PLAN)
+        superset["axes"] = {
+            "workload": ["luindex"],
+            "rate": [0.0, 0.1, 0.25],
+        }
+        second = client.submit(superset)
+        done = client.wait(second["id"], timeout_s=60)
+        assert done["state"] == "completed"
+        # Only the one genuinely new cell was simulated.
+        assert service.cache.stores == 3
+        assert done["executed_cells"] == 1

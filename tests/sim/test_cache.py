@@ -1,10 +1,14 @@
 """Tests for the persistent content-addressed result cache."""
 
+import json
+import os
+import time
 from dataclasses import replace
 
 from repro.faults.generator import FailureModel
 from repro.runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from repro.sim.cache import (
+    SCHEMA_VERSION,
     ResultCache,
     cache_key,
     code_fingerprint,
@@ -127,3 +131,106 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "never-created")
         assert len(cache) == 0
         assert cache.get(QUICK) is None
+
+    def test_foreign_schema_is_a_miss(self, tmp_path):
+        # An entry tagged with a different cache-format version must be
+        # a miss even when its result fields happen to deserialize —
+        # a shared directory can hold files from a newer writer.
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        path = cache._path(cache.key(QUICK))
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        data["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert cache.get(QUICK) is None
+        del data["schema"]
+        path.write_text(json.dumps(data))
+        assert cache.get(QUICK) is None
+
+
+class TestContains:
+    def test_matches_get_semantics(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert not cache.contains(QUICK)
+        cache.put(QUICK, run_benchmark(QUICK))
+        assert cache.contains(QUICK)
+
+    def test_corrupt_entry_is_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        path = cache._path(cache.key(QUICK))
+        path.write_text("{not json")
+        assert not cache.contains(QUICK)
+
+    def test_truncated_entry_is_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        path = cache._path(cache.key(QUICK))
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert not cache.contains(QUICK)
+
+    def test_foreign_schema_is_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        path = cache._path(cache.key(QUICK))
+        data = json.loads(path.read_text())
+        data["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert not cache.contains(QUICK)
+
+    def test_does_not_touch_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        cache.contains(QUICK)
+        cache.contains(replace(QUICK, seed=99))
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+
+class TestSweepOrphans:
+    def test_sweeps_only_aged_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(QUICK, run_benchmark(QUICK))
+        shard = cache._path(cache.key(QUICK)).parent
+        fresh = shard / "fresh-writer.tmp"
+        fresh.write_text("{}")
+        stale = shard / "killed-writer.tmp"
+        stale.write_text("{}")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        assert cache.sweep_orphans() == 1
+        assert fresh.exists()
+        assert not stale.exists()
+        # An explicit zero threshold reclaims everything (startup of an
+        # entry point that knows no writer can be alive).
+        assert cache.sweep_orphans(min_age_s=0.0) == 1
+        assert not fresh.exists()
+        # The published entry itself is never touched.
+        assert cache.get(QUICK) is not None
+
+    def test_put_survives_a_racing_sweeper(self, tmp_path, monkeypatch):
+        # A sweeper that unlinks the writer's temp file between the
+        # JSON dump and the rename makes os.replace raise
+        # FileNotFoundError; put must retry through a fresh temp file
+        # instead of crashing the writer.
+        cache = ResultCache(tmp_path / "cache")
+        result = run_benchmark(QUICK)
+        real_replace = os.replace
+        raced = {"count": 0}
+
+        def racing_replace(src, dst):
+            if raced["count"] == 0:
+                raced["count"] += 1
+                os.unlink(src)  # the sweeper wins the race
+                return real_replace(src, dst)  # FileNotFoundError
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        cache.put(QUICK, result)
+        monkeypatch.undo()
+        assert raced["count"] == 1
+        assert cache.stores == 1
+        assert cache.get(QUICK) == result
+        # The retry cleaned up after itself: no temp files left behind.
+        assert list(cache.root.glob("*/*.tmp")) == []

@@ -142,17 +142,27 @@ class TestSweepsSurviveChaos:
 
 
 class TestOrphanSweep:
-    def test_sweep_orphans_removes_only_temp_files(self, tmp_path):
+    def test_sweep_orphans_removes_only_aged_temp_files(self, tmp_path):
+        import os
+        import time
+
         cache = ResultCache(tmp_path / "cache")
         grid = small_grid()[:1]
         run_grid(grid, jobs=1, cache=cache)
         shard = next(iter(cache.entries())).parent
         (shard / "dead-writer-1.tmp").write_text("torn")
         (shard / "dead-writer-2.tmp").write_text("torn")
+        # Fresh temp files may belong to live writers: the default
+        # sweep must leave them alone (unlinking them would crash the
+        # writer's os.replace).
+        assert cache.sweep_orphans() == 0
+        old = time.time() - 3600
+        for orphan in shard.glob("*.tmp"):
+            os.utime(orphan, (old, old))
         assert cache.sweep_orphans() == 2
         assert list((tmp_path / "cache").glob("**/*.tmp")) == []
         assert len(cache) == 1  # real entries untouched
-        assert cache.sweep_orphans() == 0
+        assert cache.sweep_orphans(min_age_s=0.0) == 0
 
     def test_sweep_orphans_on_missing_root(self, tmp_path):
         assert ResultCache(tmp_path / "nowhere").sweep_orphans() == 0
