@@ -5,6 +5,7 @@ Commands
 ``figures``    regenerate one or more of the paper's figures
 ``sweep``      run a (workload x rate x heap) grid, in parallel
 ``plan``       precheck / dry-run a declarative experiment plan
+``report``     aggregate a sweep flight-recorder ledger
 ``bench``      run one workload at one configuration and dump counters
 ``trace``      record a Chrome trace of one (wearing) run
 ``check``      run a randomized fault-injection audit campaign
@@ -51,6 +52,18 @@ narration. ``figures``, ``sweep`` and ``bench`` accept ``--trace`` and
 runs they execute; ``trace`` is the dedicated single-run recorder and
 defaults to a *wearing* module so the hardware failure path is hot.
 
+Where the *harness* spends real wall-clock time is a separate
+recorder: ``sweep --ledger PATH`` appends per-cell flight-recorder
+events (queue, attempt, retry, cache, quarantine — schema
+``repro.ledger/1``) from every process the sweep touches,
+``--progress`` narrates live done/total + hit rate + ETA, and
+``--profile-cells`` runs cProfile inside the workers. ``repro report
+LEDGER`` folds the ledger into a wall-clock breakdown (phase totals,
+slowest cells, hotspots) and can export a merged wall-clock Chrome
+trace with one track per worker. All of it is observational: the
+artifact's ``results`` section is bit-identical with the recorder on
+or off.
+
 Examples::
 
     python -m repro workloads
@@ -59,6 +72,9 @@ Examples::
     python -m repro sweep --workloads pmd xalan --rates 0 0.1 0.5 --jobs 4
     python -m repro plan plans/smoke.yaml --dry-run --cache-dir .repro-cache
     python -m repro sweep --plan plans/smoke.yaml --jobs 4
+    python -m repro sweep --plan plans/smoke.yaml --jobs 4 --progress \
+        --ledger sweep.ledger.jsonl --profile-cells
+    python -m repro report sweep.ledger.jsonl --json --trace-out wall.json
     python -m repro bench pmd --rate 0.25 --clustering 2 --heap 2.0
     python -m repro trace --workload luindex --scale 0.1 --out trace.json
     python -m repro check --seed 0
@@ -83,6 +99,7 @@ from .errors import PlanError, SnapshotError
 from .faults.generator import FailureModel
 from .ioutil import atomic_write_json, atomic_write_text
 from .obs import log as obslog
+from .obs.ledger import SweepLedger, SweepProgress, aggregate, read_ledger
 from .obs.metrics import (
     SWEEP_QUARANTINED_CELLS_TOTAL,
     SWEEP_RETRIES_TOTAL,
@@ -90,6 +107,7 @@ from .obs.metrics import (
     SWEEP_WORKER_CRASHES_TOTAL,
     MetricsRegistry,
 )
+from .obs.profile import merge_profiles, render_hotspots
 from .obs.trace import DEFAULT_CAPACITY, Tracer
 from .sim.cache import ResultCache, result_to_dict
 from .sim.chaos import ChaosConfig
@@ -180,6 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a BENCH_sweep.json execution artifact to PATH",
     )
+    figures.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="append wall-clock flight-recorder events for every "
+        "prefetch fan-out to PATH (aggregate with 'repro report')",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a (workload x rate x heap) grid in parallel"
@@ -218,6 +243,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_arguments(sweep)
     _add_fault_tolerance_arguments(sweep)
     _add_observability_arguments(sweep, directory=True)
+    sweep.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="append per-cell wall-clock flight-recorder events "
+        "(schema repro.ledger/1, JSONL) from every sweep process to "
+        "PATH; aggregate with 'repro report'",
+    )
+    sweep.add_argument(
+        "--profile-cells",
+        action="store_true",
+        help="run each worker attempt under cProfile and spool pstats "
+        "per cell ('repro report' merges them into a hotspot table); "
+        "implies a ledger (default: <out>.ledger.jsonl)",
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="narrate live progress on stderr: done/total, running "
+        "cells, cache hit rate, EMA-based ETA",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -243,6 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="skip the cache-hit estimate even with --cache-dir",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate a sweep flight-recorder ledger into a "
+        "wall-clock breakdown",
+    )
+    report.add_argument(
+        "ledger",
+        metavar="LEDGER",
+        help="ledger JSONL file written by 'sweep --ledger'",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the slowest-cells and hotspot tables "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also export the ledger as a merged wall-clock Chrome "
+        "trace (one track per worker process)",
     )
 
     bench = sub.add_parser("bench", help="run one workload configuration")
@@ -581,6 +656,28 @@ def _add_observability_arguments(
     )
 
 
+def _build_sweep_recorder(args):
+    """(ledger, profile_dir) implied by the sweep recorder flags.
+
+    ``--progress`` alone records in memory (listeners only, no file);
+    ``--profile-cells`` needs a file for workers to announce their
+    spools in, so it defaults the ledger to ``<out>.ledger.jsonl``.
+    """
+    if not (args.ledger or args.profile_cells or args.progress):
+        return None, None
+    ledger_path = args.ledger
+    if ledger_path is None and args.profile_cells:
+        ledger_path = os.path.splitext(args.out)[0] + ".ledger.jsonl"
+        obslog.info(f"--profile-cells: recording ledger at {ledger_path}")
+    ledger = SweepLedger(ledger_path)
+    if args.progress:
+        ledger.add_listener(SweepProgress(log=obslog.info))
+    profile_dir = None
+    if args.profile_cells:
+        profile_dir = os.path.splitext(ledger_path)[0] + ".profiles"
+    return ledger, profile_dir
+
+
 def _build_cache(args) -> Optional[ResultCache]:
     if args.no_cache or not args.cache_dir:
         return None
@@ -701,6 +798,15 @@ def cmd_figures(args) -> int:
     registry = None
     tracer_factory = None
     trace_sink = None
+    if args.trace and args.ledger:
+        # Traced figures run serially in-process; there is no fan-out
+        # for a flight recorder to observe.
+        obslog.warn(
+            "--trace runs cells serially in-process, which bypasses "
+            "the fan-out --ledger records; drop one of the two"
+        )
+        return 2
+    ledger = SweepLedger(args.ledger) if args.ledger else None
     if args.trace or args.metrics_out:
         registry = MetricsRegistry()
     if args.trace:
@@ -733,6 +839,7 @@ def cmd_figures(args) -> int:
         trace_sink=trace_sink,
         retry=_build_retry_policy(args),
         timeout_s=args.timeout,
+        ledger=ledger,
     )
     if args.json:
         payload = {
@@ -753,6 +860,11 @@ def cmd_figures(args) -> int:
         )
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
+    if ledger is not None and ledger.path:
+        obslog.info(
+            f"ledger: {ledger.path} ({len(ledger.events)} parent events; "
+            "aggregate with 'repro report')"
+        )
     if args.sweep_json:
         summary = runner.sweep_summary()
         if summary is None:
@@ -782,6 +894,9 @@ def cmd_sweep(args) -> int:
                 ("--retries", args.retries is not None),
                 ("--retry-delay", args.retry_delay is not None),
                 ("--timeout", args.timeout is not None),
+                ("--ledger", args.ledger is not None),
+                ("--profile-cells", args.profile_cells),
+                ("--progress", args.progress),
             )
             if present
         ]
@@ -849,8 +964,10 @@ def cmd_sweep(args) -> int:
                 "--trace runs serially in-process; ignoring REPRO_CHAOS"
             )
         results, stats = _run_traced_sweep(args, grid)
+        ledger = None
     else:
         cache = _build_cache(args)
+        ledger, profile_dir = _build_sweep_recorder(args)
         results, stats = run_grid(
             grid,
             jobs=args.jobs,
@@ -858,7 +975,13 @@ def cmd_sweep(args) -> int:
             retry=_build_retry_policy(args),
             timeout_s=args.timeout,
             chaos=ChaosConfig.from_env(),
+            ledger=ledger,
+            profile_dir=profile_dir,
         )
+        if ledger is not None and ledger.path:
+            obslog.info(
+                f"ledger: {ledger.path} (aggregate with 'repro report')"
+            )
         if args.resume:
             obslog.info(
                 f"resume: {stats.cache_hits} of {len(grid)} cell(s) "
@@ -881,6 +1004,12 @@ def cmd_sweep(args) -> int:
             f"{cell.attempts} attempt(s): {'; '.join(cell.failures)}"
         )
     payload = stats.to_dict()
+    if ledger is not None:
+        # Additive wall-clock block from the flight recorder; the
+        # bit-identity CI jobs compare "results" only, so this never
+        # perturbs them.
+        events = read_ledger(ledger.path)[0] if ledger.path else ledger.events
+        payload["wall_clock"] = aggregate(events, top=5)
     # Deterministic per-cell results (input order, quarantined cells
     # absent): this is the section the chaos-smoke CI job compares
     # between a disturbed and an undisturbed sweep.
@@ -936,6 +1065,98 @@ def _run_traced_sweep(args, grid: List[RunConfig]):
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     return results, stats
+
+
+def cmd_report(args) -> int:
+    from .obs.export import (
+        LEDGER_CATEGORIES,
+        validate_chrome_trace,
+        write_ledger_chrome_trace,
+    )
+
+    try:
+        events, problems = read_ledger(args.ledger)
+    except OSError as exc:
+        obslog.warn(f"report: cannot read {args.ledger}: {exc}")
+        return 2
+    for problem in problems:
+        obslog.warn(f"ledger: {problem}")
+    if not events:
+        obslog.warn(f"report: {args.ledger} holds no events")
+        return 1
+    report = aggregate(events, top=args.top)
+    hotspots: List[dict] = []
+    if report["profiles"]:
+        hotspots, profile_problems = merge_profiles(
+            report["profiles"], top=args.top
+        )
+        for problem in profile_problems:
+            obslog.warn(f"profile: {problem}")
+    if args.trace_out:
+        payload = write_ledger_chrome_trace(events, args.trace_out)
+        for problem in validate_chrome_trace(payload, LEDGER_CATEGORIES):
+            obslog.warn(f"trace: {problem}")
+        obslog.info(
+            f"wall-clock trace: {args.trace_out} "
+            f"({len(report['workers'])} worker track(s))"
+        )
+    if args.json:
+        payload = dict(report)
+        payload["hotspots"] = hotspots
+        payload["ledger_problems"] = problems
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    obslog.out(f"ledger        {args.ledger} ({len(events)} events)")
+    obslog.out(
+        f"cells         {report['cells']} ({report['executed']} executed, "
+        f"{report['cache']['hits']} cached, "
+        f"{len(report['quarantined'])} quarantined), "
+        f"jobs {report['jobs']}"
+    )
+    if report["wall_s"] is not None:
+        obslog.out(
+            f"wall clock    {report['wall_s']:.2f}s measured, "
+            f"{report['accounted_s']:.2f}s accounted, "
+            f"coverage {report['coverage']:.1%}"
+        )
+    else:
+        obslog.out(
+            "wall clock    unbounded ledger (no sweep_begin/sweep_end "
+            "pair); phase totals only"
+        )
+    obslog.out("phase breakdown (wall seconds)")
+    accounted = report["accounted_s"] or 1.0
+    for phase, seconds in report["phases"].items():
+        obslog.out(f"  {phase:12s} {seconds:10.3f}s {seconds / accounted:7.1%}")
+    hit_rate = report["cache"]["hit_rate"]
+    obslog.out(
+        f"cache         {report['cache']['hits']} hit(s), "
+        f"{report['cache']['misses']} miss(es)"
+        + (f", hit rate {hit_rate:.0%}" if hit_rate is not None else "")
+    )
+    obslog.out(
+        f"faults        {report['retries']} retried, "
+        f"{len(report['quarantined'])} quarantined, "
+        f"waste {report['waste_s']:.2f}s"
+    )
+    obslog.out(f"workers       {len(report['workers'])} process(es)")
+    if report["slowest_cells"]:
+        obslog.out(f"slowest cells (top {len(report['slowest_cells'])})")
+        for cell in report["slowest_cells"]:
+            obslog.out(
+                f"  cell {cell['cell']:4d} {cell['workload'] or '?':13s} "
+                f"{cell['wall_s']:8.3f}s {cell['attempts']} attempt(s) "
+                f"{cell['outcome']}"
+            )
+    if hotspots:
+        obslog.out(
+            f"hotspots (merged from {len(report['profiles'])} "
+            "profile spool(s))"
+        )
+        for line in render_hotspots(hotspots):
+            obslog.out("  " + line)
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -1282,6 +1503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lifetime": cmd_lifetime,
         "workloads": cmd_workloads,
         "plan": cmd_plan,
+        "report": cmd_report,
         "serve": cmd_serve,
     }
     try:

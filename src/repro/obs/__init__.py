@@ -1,8 +1,10 @@
 """Cross-layer observability: structured tracing, metrics, logging.
 
 See ``trace.py`` for the event/phase model, ``metrics.py`` for the
-registry, ``export.py`` for Chrome-trace/JSONL output and ``log.py``
-for the stdout/stderr conventions.
+registry, ``export.py`` for Chrome-trace/JSONL output, ``log.py``
+for the stdout/stderr conventions, ``ledger.py`` for the wall-clock
+sweep flight recorder and ``profile.py`` for opt-in worker
+profiling.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -17,11 +19,25 @@ from .trace import (
     maybe_span,
 )
 from .export import (
+    LEDGER_CATEGORIES,
     chrome_trace,
+    ledger_chrome_trace,
     validate_chrome_trace,
+    validate_jsonl_trace,
     write_chrome_trace,
     write_jsonl,
+    write_ledger_chrome_trace,
 )
+from .ledger import (
+    LEDGER_SCHEMA,
+    REPORT_SCHEMA,
+    SweepLedger,
+    SweepProgress,
+    aggregate,
+    read_ledger,
+    worker_emit,
+)
+from .profile import merge_profiles, profile_call, render_hotspots
 
 __all__ = [
     "CATEGORIES",
@@ -29,15 +45,29 @@ __all__ = [
     "Gauge",
     "HARDWARE",
     "Histogram",
+    "LEDGER_CATEGORIES",
+    "LEDGER_SCHEMA",
     "MetricsRegistry",
     "OS",
+    "REPORT_SCHEMA",
     "ROOT_PHASE",
     "RUNTIME",
+    "SweepLedger",
+    "SweepProgress",
     "TraceEvent",
     "Tracer",
+    "aggregate",
     "chrome_trace",
+    "ledger_chrome_trace",
     "maybe_span",
+    "merge_profiles",
+    "profile_call",
+    "read_ledger",
+    "render_hotspots",
     "validate_chrome_trace",
+    "validate_jsonl_trace",
+    "worker_emit",
     "write_chrome_trace",
     "write_jsonl",
+    "write_ledger_chrome_trace",
 ]

@@ -15,13 +15,23 @@ dynamic-failure collection) reads top to bottom in the UI.
 and the CI smoke job. It verifies structural requirements Perfetto
 cares about (required keys, known phases, numeric non-negative
 timestamps) and — when the ring buffer did not overflow — that B/E
-span events balance per track.
+span events balance per track. ``validate_jsonl_trace`` applies the
+same per-event checks to the raw JSONL spelling, tolerating exactly
+the damage an interrupted writer can cause (a truncated final line)
+while still flagging interior corruption, unknown event types, and
+out-of-order timestamps.
+
+A second exporter lives here too: :func:`ledger_chrome_trace` renders
+a sweep flight-recorder ledger (:mod:`repro.obs.ledger`) as a
+*wall-clock* Chrome trace — one track for the sweep parent and one
+per worker process — so where the harness spends real time reads in
+the same Perfetto UI as where the simulation spends simulated time.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .trace import CATEGORIES, HARDWARE, OS, RUNTIME, Tracer
 
@@ -122,8 +132,16 @@ def write_jsonl(tracer: Tracer, path: str) -> int:
     return n
 
 
-def validate_chrome_trace(payload: Any) -> List[str]:
-    """Schema problems with a Chrome trace payload; [] means valid."""
+def validate_chrome_trace(
+    payload: Any, categories: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Schema problems with a Chrome trace payload; [] means valid.
+
+    ``categories`` is the set of legal ``cat`` values — the simulated
+    layer names by default; pass :data:`LEDGER_CATEGORIES` for a
+    wall-clock ledger trace.
+    """
+    known_cats = tuple(categories) if categories is not None else CATEGORIES
     problems: List[str] = []
     if not isinstance(payload, dict):
         return ["payload is not a JSON object"]
@@ -162,7 +180,7 @@ def validate_chrome_trace(payload: Any) -> List[str]:
             problems.append(f"{where}: ts must be a non-negative number")
             continue
         cat = event.get("cat")
-        if cat is not None and cat not in CATEGORIES:
+        if cat is not None and cat not in known_cats:
             problems.append(f"{where}: unknown cat {cat!r}")
         tid = event["tid"]
         if ts < last_ts.get(tid, 0.0):
@@ -184,3 +202,228 @@ def validate_chrome_trace(payload: Any) -> List[str]:
                     f"innermost {stack[-1]!r}"
                 )
     return problems
+
+
+def validate_jsonl_trace(
+    lines: Iterable[str], categories: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Problems with a raw JSONL event stream (``write_jsonl`` output).
+
+    Checks per line: parseable JSON object (a truncated line — the
+    one corruption an interrupted writer can produce — reads as
+    unparseable), known ``ph`` and ``cat``, a numeric non-negative
+    ``ts``, and globally non-decreasing timestamps (the tracer's
+    clock is monotone, so out-of-order events mean a corrupted or
+    hand-spliced file).
+    """
+    known_cats = tuple(categories) if categories is not None else CATEGORIES
+    problems: List[str] = []
+    last_ts: Optional[float] = None
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            event = json.loads(line)
+        except ValueError:
+            problems.append(f"line {number}: truncated or unparseable record")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"line {number}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"line {number}: missing name")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(f"line {number}: unknown event type {ph!r}")
+            continue
+        cat = event.get("cat")
+        if cat is not None and cat not in known_cats:
+            problems.append(f"line {number}: unknown cat {cat!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"line {number}: ts must be a non-negative number")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"line {number}: ts {ts} goes backwards (previous {last_ts})"
+            )
+        last_ts = max(last_ts, float(ts)) if last_ts is not None else float(ts)
+    if count == 0:
+        problems.append("no events")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Wall-clock ledger traces (one track per worker process)
+# ----------------------------------------------------------------------
+#: The legal ``cat`` value in a ledger-derived trace.
+LEDGER_CATEGORY = "sweep"
+LEDGER_CATEGORIES = (LEDGER_CATEGORY,)
+
+LEDGER_PROCESS_NAME = "repro sweep (wall clock)"
+
+#: Parent-track id; worker tracks are assigned 2, 3, ... by first
+#: appearance order of their pids.
+PARENT_TID = 1
+
+
+def ledger_chrome_trace(
+    ledger_events: Sequence[Dict[str, Any]],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A ledger (:func:`repro.obs.ledger.read_ledger`) as a Chrome trace.
+
+    Wall-clock unix timestamps are rebased to the first event and
+    scaled to microseconds. Worker attempts render as complete ("X")
+    spans on one track per worker pid; parent-side bookkeeping
+    (cache operations, dispatches, retries, quarantines) renders as
+    instants — and cache operations as spans — on the parent track.
+    Validate with ``validate_chrome_trace(payload, LEDGER_CATEGORIES)``.
+    """
+    from .ledger import (  # local: export must stay importable standalone
+        ATTEMPT_END, ATTEMPT_START, CACHE_HIT, CACHE_MISS, CACHE_STORE,
+        COLLECT, CRASH, DISPATCH, QUARANTINE, RETRY, SWEEP_BEGIN, TIMEOUT,
+    )
+
+    events = [e for e in ledger_events if isinstance(e.get("t"), (int, float))]
+    if not events:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "otherData": dict(metadata or {}),
+        }
+    t0 = min(float(e["t"]) for e in events)
+    parent_pid = next(
+        (e.get("pid") for e in events if e.get("ev") == SWEEP_BEGIN), None
+    )
+
+    tids: Dict[Any, int] = {}
+
+    def tid_for(event: Dict[str, Any]) -> int:
+        pid = event.get("pid")
+        if pid == parent_pid or pid is None:
+            return PARENT_TID
+        if pid not in tids:
+            tids[pid] = PARENT_TID + 1 + len(tids)
+        return tids[pid]
+
+    def us(t: float) -> float:
+        return max(0.0, (t - t0) * 1e6)
+
+    spans: List[Dict[str, Any]] = []
+    starts: Dict[Any, Dict[str, Any]] = {}
+    for event in events:
+        ev = event.get("ev")
+        t = float(event["t"])
+        cell = event.get("cell")
+        if ev == ATTEMPT_START:
+            starts[(cell, event.get("attempt", 1), event.get("pid"))] = event
+        elif ev == ATTEMPT_END:
+            begun = starts.pop(
+                (cell, event.get("attempt", 1), event.get("pid")), None
+            )
+            started_ts = (
+                us(float(begun["t"]))
+                if begun is not None
+                else us(t) - float(event.get("wall_s", 0.0)) * 1e6
+            )
+            spans.append(
+                {
+                    "name": f"cell {cell} "
+                    f"{event.get('workload') or ''} a{event.get('attempt', 1)}".strip(),
+                    "cat": LEDGER_CATEGORY,
+                    "ph": "X",
+                    "ts": started_ts,
+                    "dur": max(0.0, us(t) - started_ts),
+                    "pid": PROCESS_ID,
+                    "tid": tid_for(event),
+                    "args": {
+                        "cell": cell,
+                        "attempt": event.get("attempt", 1),
+                        "ok": bool(event.get("ok", True)),
+                    },
+                }
+            )
+        elif ev in (CACHE_HIT, CACHE_MISS, CACHE_STORE):
+            wall_us = float(event.get("wall_s", 0.0)) * 1e6
+            spans.append(
+                {
+                    "name": ev,
+                    "cat": LEDGER_CATEGORY,
+                    "ph": "X",
+                    "ts": max(0.0, us(t) - wall_us),
+                    "dur": wall_us,
+                    "pid": PROCESS_ID,
+                    "tid": PARENT_TID,
+                    "args": {"cell": cell},
+                }
+            )
+        elif ev in (DISPATCH, COLLECT, RETRY, TIMEOUT, CRASH, QUARANTINE):
+            spans.append(
+                {
+                    "name": ev,
+                    "cat": LEDGER_CATEGORY,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(t),
+                    "pid": PROCESS_ID,
+                    "tid": PARENT_TID,
+                    "args": {"cell": cell},
+                }
+            )
+    spans.sort(key=lambda record: record["ts"])
+
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROCESS_ID,
+            "tid": 0,
+            "args": {"name": LEDGER_PROCESS_NAME},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PROCESS_ID,
+            "tid": PARENT_TID,
+            "args": {"name": "parent"},
+        },
+    ]
+    for pid, tid in sorted(tids.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PROCESS_ID,
+                "tid": tid,
+                "args": {"name": f"worker pid {pid}"},
+            }
+        )
+    trace_events.extend(spans)
+    other: Dict[str, Any] = {
+        "ledger_events": len(events),
+        "workers": len(tids),
+        "epoch_unix": t0,
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_ledger_chrome_trace(
+    ledger_events: Sequence[Dict[str, Any]],
+    path: str,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    payload = ledger_chrome_trace(ledger_events, metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return payload

@@ -185,17 +185,26 @@ class Histogram:
             self.bucket_counts[-1] += 1
 
     def percentile(self, q: float) -> float:
-        """Approximate quantile from bucket boundaries (for reports)."""
+        """Approximate quantile from bucket boundaries (for reports).
+
+        Returns the upper bound of the bucket containing the q-th
+        observation. ``q <= 0`` is clamped to 0.0 (there is no lower
+        bound to report, and the first bucket's upper bound would
+        overstate the minimum). When the target observation landed in
+        the overflow bucket, returns ``inf``: the histogram genuinely
+        does not know how large those observations were, and reporting
+        the largest finite bound would silently understate the tail.
+        """
         with self._lock:
-            if self.count == 0:
+            if self.count == 0 or q <= 0.0:
                 return 0.0
-            target = q * self.count
+            target = min(q, 1.0) * self.count
             running = 0
             for i, bound in enumerate(self.bounds):
                 running += self.bucket_counts[i]
                 if running >= target:
                     return bound
-            return self.bounds[-1]
+            return float("inf")
 
     def samples(self) -> List[Tuple[str, float]]:
         with self._lock:

@@ -1,0 +1,113 @@
+"""Opt-in worker profiling: per-cell cProfile spools, merged reports.
+
+``sweep --profile-cells`` answers the question the array-of-lines
+roadmap item starts from: *which Python frames burn the wall time the
+ledger attributes to ``simulate``?* Each worker attempt runs its cell
+under :mod:`cProfile` and dumps a standard ``pstats`` file into the
+ledger's spool directory; the worker then records a ``profile`` event
+so ``repro report`` can find and merge every spool into one top-N
+cumulative-time table — the measure-then-optimize discipline the
+paper applies to GC overheads, pointed at the harness itself.
+
+Profiling is observational: the simulated results are untouched (the
+profiler only slows the worker down), and the CI report-smoke job
+asserts the artifact's ``results`` section is bit-identical with
+profiling on or off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Filename pattern for one attempt's spool (kept parseable: the
+#: report's table is keyed on merged frames, not on files).
+SPOOL_NAME = "cell-{index}-attempt-{attempt}.pstats"
+
+
+def spool_path(directory: str, index: int, attempt: int) -> str:
+    return os.path.join(directory, SPOOL_NAME.format(index=index, attempt=attempt))
+
+
+def profile_call(
+    out_path: str, fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> Any:
+    """Run ``fn`` under cProfile, dump stats to ``out_path``, return result.
+
+    The stats are dumped even when ``fn`` raises, so a failing attempt
+    still leaves its profile behind for the waste analysis.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(out_path)
+
+
+def merge_profiles(
+    paths: Sequence[str], top: int = 15
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Merge pstats spools into a top-N cumulative hotspot table.
+
+    Returns ``(rows, problems)``: rows sorted by cumulative time
+    descending, each ``{"site", "calls", "tottime_s", "cumtime_s"}``;
+    unreadable spools are reported in ``problems`` and skipped rather
+    than failing the whole report.
+    """
+    stats: Optional[pstats.Stats] = None
+    problems: List[str] = []
+    for path in paths:
+        try:
+            if stats is None:
+                stats = pstats.Stats(path)
+            else:
+                stats.add(path)
+        except Exception as exc:
+            problems.append(f"{path}: unreadable profile ({exc})")
+    if stats is None:
+        return [], problems
+    rows: List[Dict[str, Any]] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "site": _format_site(func),
+                "calls": nc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime_s"], row["site"]))
+    return rows[: max(0, top)], problems
+
+
+def _format_site(func: Tuple[str, int, str]) -> str:
+    filename, line, name = func
+    if filename == "~":
+        return name  # builtins render as "<built-in method ...>"
+    return f"{_shorten(filename)}:{line}({name})"
+
+
+def _shorten(filename: str) -> str:
+    """Trim absolute paths down to the package-relative tail."""
+    parts = filename.replace(os.sep, "/").split("/")
+    for anchor in ("repro", "site-packages"):
+        if anchor in parts[:-1]:
+            keep = parts[parts.index(anchor):]
+            return "/".join(keep)
+    return "/".join(parts[-2:]) if len(parts) > 1 else filename
+
+
+def render_hotspots(rows: Sequence[Dict[str, Any]]) -> List[str]:
+    """Human table for ``repro report`` (one string per line)."""
+    lines = [f"{'cumulative(s)':>13s} {'tottime(s)':>10s} {'calls':>9s}  site"]
+    for row in rows:
+        lines.append(
+            f"{row['cumtime_s']:13.3f} {row['tottime_s']:10.3f} "
+            f"{row['calls']:9d}  {row['site']}"
+        )
+    return lines

@@ -23,7 +23,7 @@ import time
 import urllib.error
 import urllib.request
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..ioutil import atomic_write_json
 from ..obs import log as obslog
@@ -104,11 +104,19 @@ class ServeClient:
         job_id: str,
         timeout_s: float = 600.0,
         poll_s: float = 0.1,
+        on_status: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state."""
+        """Poll until the job reaches a terminal state.
+
+        ``on_status`` sees every polled status document (including the
+        terminal one) — the one-shot CLI uses it to narrate the job's
+        ``progress`` block while waiting.
+        """
         deadline = time.monotonic() + timeout_s
         while True:
             status = self.status(job_id)
+            if on_status is not None:
+                on_status(status)
             if status["state"] in protocol.TERMINAL_STATES:
                 return status
             if time.monotonic() >= deadline:
@@ -160,7 +168,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     job_id = submitted["id"]
     obslog.info(f"submitted {args.plan} as {job_id} ({submitted['cells']} cells)")
-    status = client.wait(job_id, timeout_s=args.timeout, poll_s=args.poll)
+
+    last_done = -1
+
+    def narrate(status: Dict[str, Any]) -> None:
+        # One line per newly-finished cell, driven by the status
+        # document's progress block (absent while the job is queued).
+        nonlocal last_done
+        progress = status.get("progress") or {}
+        total = progress.get("cells_total")
+        if not total:
+            return
+        done = int(progress.get("executed") or 0) + int(
+            progress.get("cached") or 0
+        )
+        if done == last_done:
+            return
+        last_done = done
+        parts = [f"{job_id}: {done}/{total} cells"]
+        cached = progress.get("cached")
+        if cached:
+            parts.append(f"{cached} cached")
+        eta = progress.get("eta_s")
+        if isinstance(eta, (int, float)) and done < total:
+            parts.append(f"eta {eta:.1f}s")
+        message = progress.get("message")
+        if message:
+            parts.append(str(message))
+        obslog.info(", ".join(parts))
+
+    status = client.wait(
+        job_id, timeout_s=args.timeout, poll_s=args.poll, on_status=narrate
+    )
     if status["state"] == protocol.STATE_FAILED:
         obslog.warn(f"job {job_id} failed: {status['error']}")
         return 1

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..obs.ledger import CACHE_HIT, COLLECT, SweepLedger, SweepProgress
 from ..obs.metrics import MetricsRegistry
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from ..sim.cache import ResultCache, result_to_dict
@@ -42,6 +43,8 @@ JOBS_FAILED_TOTAL = "repro_serve_jobs_failed_total"
 QUEUE_DEPTH = "repro_serve_queue_depth"
 JOB_WALL_SECONDS = "repro_serve_job_wall_seconds"
 CELLS_EXECUTED_TOTAL = "repro_serve_cells_executed_total"
+CELL_WALL_SECONDS = "repro_serve_cell_wall_seconds"
+CACHE_LOOKUP_SECONDS = "repro_serve_cache_lookup_seconds"
 CACHE_HITS = "repro_serve_cache_hits"
 CACHE_MISSES = "repro_serve_cache_misses"
 CACHE_STORES = "repro_serve_cache_stores"
@@ -60,11 +63,19 @@ class Job:
     submitted_unix: float = field(default_factory=time.time)
     started_unix: Optional[float] = None
     finished_unix: Optional[float] = None
-    #: Uncached cells executed so far (progress-callback count).
+    #: Uncached cells executed so far (ledger ``collect`` count).
     executed_cells: int = 0
+    #: Cells served from the shared cache (ledger ``cache_hit`` count).
+    cached_cells: int = 0
     quarantined: int = 0
+    #: Latest per-cell narration line from the executor (the text the
+    #: old progress callback used to drop on the floor).
+    last_message: Optional[str] = None
     error: Optional[str] = None
     artifact: Optional[Dict[str, Any]] = None
+    #: Live progress listener, attached while the job runs; its
+    #: snapshot backs the status document's ``progress`` block.
+    tracker: Optional[SweepProgress] = field(default=None, repr=False)
 
     @property
     def terminal(self) -> bool:
@@ -175,16 +186,26 @@ class JobManager:
             self._update_queue_gauge()
 
     def _run_job(self, job: Job) -> None:
+        # In-memory flight recorder: events reach the listeners below
+        # (live counters, the /jobs/<id> progress block, /metrics
+        # histograms) but nothing touches disk and the results stay
+        # bit-identical to an offline, unrecorded sweep.
+        tracker = SweepProgress()
+        ledger = SweepLedger()
+        ledger.add_listener(tracker)
+        ledger.add_listener(
+            lambda record: self._on_ledger_event(job, tracker, record)
+        )
         with self._lock:
             job.state = protocol.STATE_RUNNING
             job.started_unix = time.time()
+            job.tracker = tracker
 
-        def progress(_message: str) -> None:
+        def progress(message: str) -> None:
+            # Per-cell narration from the executor; keep the latest
+            # line so the status document can say what ran last.
             with self._lock:
-                job.executed_cells += 1
-            self._counter(
-                CELLS_EXECUTED_TOTAL, "uncached cells the pool executed"
-            ).inc()
+                job.last_message = message
 
         try:
             results, stats = run_grid(
@@ -195,6 +216,7 @@ class JobManager:
                 progress=progress,
                 retry=self.retry,
                 timeout_s=self.timeout_s,
+                ledger=ledger,
             )
         except Exception as exc:  # keep the daemon alive; the job dies
             with self._lock:
@@ -256,8 +278,17 @@ class JobManager:
                 "plan": job.plan.name,
                 "source": job.source,
                 "cells": len(job.plan.cells),
+                "cells_total": len(job.plan.cells),
                 "executed_cells": job.executed_cells,
+                "cached_cells": job.cached_cells,
                 "quarantined": job.quarantined,
+                "progress": (
+                    protocol.progress_payload(
+                        job.tracker.snapshot(), job.last_message
+                    )
+                    if job.tracker is not None
+                    else None
+                ),
                 "submitted_unix": job.submitted_unix,
                 "started_unix": job.started_unix,
                 "finished_unix": job.finished_unix,
@@ -303,6 +334,34 @@ class JobManager:
     # ------------------------------------------------------------------
     # Metrics plumbing
     # ------------------------------------------------------------------
+    def _on_ledger_event(
+        self, job: Job, tracker: SweepProgress, record: Dict[str, Any]
+    ) -> None:
+        """Ledger listener: fold one parent-side event into counters.
+
+        Runs on the worker thread (parent-side emits only), so the job
+        fields it mirrors from ``tracker`` are guarded by the manager
+        lock like every other job mutation.
+        """
+        ev = record.get("ev")
+        wall = record.get("wall_s")
+        if ev == COLLECT:
+            self._counter(
+                CELLS_EXECUTED_TOTAL, "uncached cells the pool executed"
+            ).inc()
+            if isinstance(wall, (int, float)):
+                self.registry.histogram(
+                    CELL_WALL_SECONDS, "wall time of one executed cell"
+                ).observe(float(wall))
+        elif ev == CACHE_HIT and isinstance(wall, (int, float)):
+            self.registry.histogram(
+                CACHE_LOOKUP_SECONDS, "wall time of one shared-cache hit"
+            ).observe(float(wall))
+        with self._lock:
+            job.executed_cells = tracker.executed
+            job.cached_cells = tracker.cached
+            job.quarantined = tracker.quarantined
+
     def _counter(self, name: str, help_text: str):
         return self.registry.counter(name, help_text)
 

@@ -81,6 +81,22 @@ def error_payload(message: str) -> Dict[str, Any]:
     return {"schema": PROTOCOL_SCHEMA, "error": message}
 
 
+def progress_payload(
+    snapshot: Dict[str, Any], message: Optional[str] = None
+) -> Dict[str, Any]:
+    """The ``progress`` block of a job status document.
+
+    ``snapshot`` is a :meth:`repro.obs.ledger.SweepProgress.snapshot`
+    dict (cells_total / executed / cached / quarantined / running /
+    hit_rate / eta_s); ``message`` is the executor's latest per-cell
+    narration line, or None before the first cell completes. The block
+    is None until the job leaves ``queued``.
+    """
+    payload = dict(snapshot)
+    payload["message"] = message
+    return payload
+
+
 def job_links(job_id: str) -> Dict[str, str]:
     """Hyperlinks a status document advertises for follow-up requests."""
     return {

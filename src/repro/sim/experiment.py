@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.ledger import SweepLedger
 from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from .cache import ResultCache
@@ -90,6 +91,8 @@ class ExperimentRunner:
         trace_sink: Optional[Callable[[RunConfig, Tracer], None]] = None,
         retry: Optional[RetryPolicy] = None,
         timeout_s: Optional[float] = None,
+        ledger: Optional[SweepLedger] = None,
+        profile_dir: Optional[str] = None,
     ) -> None:
         self.seeds = tuple(seeds)
         self.cost_model = cost_model
@@ -100,6 +103,10 @@ class ExperimentRunner:
         self.trace_sink = trace_sink
         self.retry = retry
         self.timeout_s = timeout_s
+        #: Flight recorder threaded through every prefetch fan-out
+        #: (observational only — see :mod:`repro.obs.ledger`).
+        self.ledger = ledger
+        self.profile_dir = profile_dir
         # Keyed on (config, cost model): two runners (or one runner
         # whose model is swapped) must never share timings computed
         # under different constants.
@@ -163,6 +170,8 @@ class ExperimentRunner:
             progress=None,
             retry=self.retry,
             timeout_s=self.timeout_s,
+            ledger=self.ledger,
+            profile_dir=self.profile_dir,
         )
         # Key by the result's own config, not by zipping against
         # `expanded`: the fault-tolerant path may quarantine cells, and

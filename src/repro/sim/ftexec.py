@@ -36,6 +36,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
+from ..obs.ledger import (
+    ATTEMPT_END,
+    ATTEMPT_START,
+    COLLECT,
+    CRASH,
+    DISPATCH,
+    PROFILE,
+    QUARANTINE,
+    RETRY,
+    TIMEOUT,
+    SweepLedger,
+    worker_emit,
+)
+from ..obs.profile import profile_call
+from ..obs.profile import spool_path as _profile_spool_path
 from ..runtime.time_model import CostModel
 from .chaos import ChaosConfig, maybe_injure
 from .machine import RunConfig, RunResult, run_benchmark
@@ -188,21 +203,42 @@ def _attempt_worker(
     cell_index: int,
     attempt: int,
     chaos: Optional[ChaosConfig],
+    ledger_path: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> None:
     """One attempt at one cell, result spooled atomically.
 
     The chaos hook fires after dispatch, so from the parent's view the
     worker dies mid-cell; an exception (chaos or real) is spooled as an
     error record so the parent can distinguish it from a silent crash.
+
+    With a ``ledger_path``, the attempt brackets itself with
+    ``attempt_start``/``attempt_end`` flight-recorder events (a killed
+    worker leaves only the start — the parent's ``crash`` event closes
+    the story). ``profile_dir`` arms cProfile around the benchmark.
     """
     from .cache import result_to_dict  # local: avoids import cycle at fork
 
     if chaos is None:
         chaos = ChaosConfig.from_env()
+    worker_emit(
+        ledger_path,
+        ATTEMPT_START,
+        cell=cell_index,
+        attempt=attempt,
+        workload=config.workload,
+    )
     started = time.perf_counter()
     try:
         maybe_injure(chaos, cell_index, attempt)
-        result = run_benchmark(config, cost_model)
+        if profile_dir is not None:
+            prof = _profile_spool_path(profile_dir, cell_index, attempt)
+            result = profile_call(prof, run_benchmark, config, cost_model)
+            worker_emit(
+                ledger_path, PROFILE, cell=cell_index, attempt=attempt, spool=prof
+            )
+        else:
+            result = run_benchmark(config, cost_model)
         payload = {
             "ok": True,
             "result": result_to_dict(result),
@@ -214,6 +250,15 @@ def _attempt_worker(
             "error": f"{type(exc).__name__}: {exc}",
             "wall_s": time.perf_counter() - started,
         }
+    worker_emit(
+        ledger_path,
+        ATTEMPT_END,
+        cell=cell_index,
+        attempt=attempt,
+        ok=bool(payload["ok"]),
+        wall_s=payload["wall_s"],
+        workload=config.workload,
+    )
     directory = os.path.dirname(spool_path)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
@@ -253,18 +298,30 @@ def run_cells_fault_tolerant(
     progress: Optional[Callable[[str], None]] = None,
     chaos: Optional[ChaosConfig] = None,
     describe: Optional[Callable[[RunConfig], str]] = None,
+    ledger: Optional[SweepLedger] = None,
+    profile_dir: Optional[str] = None,
 ) -> Tuple[List[Tuple[int, RunResult, float]], FaultToleranceReport]:
     """Run every cell to completion or quarantine; never aborts the sweep.
 
     Returns completions as ``(index, result, wall_s)`` in arbitrary
     order (the caller re-sorts by index) plus the survival report.
     ``chaos`` is only ever armed by tests and the CI chaos-smoke job.
+
+    With a ``ledger``, the parent records dispatch/collect plus every
+    retry, timeout, crash and quarantine as flight-recorder events;
+    attempt processes append their own start/end records to the
+    ledger's file. ``profile_dir`` arms per-attempt cProfile spools.
     """
     clock = clock or MonotonicClock()
     describe = describe or (lambda config: repr(config))
     report = FaultToleranceReport()
     completions: List[Tuple[int, RunResult, float]] = []
     jobs = max(1, jobs)
+    ledger_path = ledger.path if ledger is not None else None
+
+    def _emit(ev: str, **fields) -> None:
+        if ledger is not None:
+            ledger.emit(ev, **fields)
 
     ready: List[Tuple[int, RunConfig, int]] = [
         (index, config, 1) for index, config in pending
@@ -288,6 +345,13 @@ def run_cells_fault_tolerant(
                     failures=list(history),
                 )
             )
+            _emit(
+                QUARANTINE,
+                cell=attempt.index,
+                workload=attempt.config.workload,
+                attempts=attempt.attempt,
+                kind=kind,
+            )
             if progress is not None:
                 progress(
                     f"QUARANTINED {attempt.config.workload} "
@@ -300,6 +364,14 @@ def run_cells_fault_tolerant(
         wait = policy.delay(attempt.index, next_attempt)
         delayed.append(
             (clock.now() + wait, attempt.index, attempt.config, next_attempt)
+        )
+        _emit(
+            RETRY,
+            cell=attempt.index,
+            workload=attempt.config.workload,
+            attempt=next_attempt,
+            wait_s=wait,
+            kind=kind,
         )
         if progress is not None:
             progress(
@@ -326,12 +398,15 @@ def run_cells_fault_tolerant(
         if payload is not None and payload.get("ok"):
             from .cache import result_from_dict
 
+            wall = float(payload.get("wall_s", 0.0))
             completions.append(
-                (
-                    attempt.index,
-                    result_from_dict(payload["result"]),
-                    float(payload.get("wall_s", 0.0)),
-                )
+                (attempt.index, result_from_dict(payload["result"]), wall)
+            )
+            _emit(
+                COLLECT,
+                cell=attempt.index,
+                workload=attempt.config.workload,
+                wall_s=wall,
             )
             return
         if payload is not None:
@@ -345,6 +420,13 @@ def run_cells_fault_tolerant(
             detail = f"terminated by signal {-exitcode}"
         else:
             detail = f"exit code {exitcode}, no result spooled"
+        _emit(
+            CRASH,
+            cell=attempt.index,
+            attempt=attempt.attempt,
+            wall_s=max(0.0, clock.now() - attempt.started),
+            detail=detail,
+        )
         fail(attempt, "crash", detail)
 
     with tempfile.TemporaryDirectory(prefix="repro-ftexec-") as spool_dir:
@@ -363,9 +445,20 @@ def run_cells_fault_tolerant(
                 index, config, attempt_no = ready.pop()
                 spool = os.path.join(spool_dir, f"cell-{index}-{serial}.json")
                 serial += 1
+                if attempt_no == 1:
+                    _emit(DISPATCH, cell=index, workload=config.workload)
                 process = context.Process(
                     target=_attempt_worker,
-                    args=(config, cost_model, spool, index, attempt_no, chaos),
+                    args=(
+                        config,
+                        cost_model,
+                        spool,
+                        index,
+                        attempt_no,
+                        chaos,
+                        ledger_path,
+                        profile_dir,
+                    ),
                     daemon=True,
                 )
                 process.start()
@@ -399,6 +492,12 @@ def run_cells_fault_tolerant(
                         os.unlink(attempt.spool)
                     except OSError:
                         pass
+                    _emit(
+                        TIMEOUT,
+                        cell=attempt.index,
+                        attempt=attempt.attempt,
+                        wall_s=max(0.0, clock.now() - attempt.started),
+                    )
                     fail(
                         attempt,
                         "timeout",

@@ -26,6 +26,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..obs.ledger import (
+    ATTEMPT_END,
+    ATTEMPT_START,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_STORE,
+    CHECKPOINT,
+    CHECKPOINT_EVERY,
+    COLLECT,
+    DISPATCH,
+    LEDGER_SCHEMA,
+    PROFILE,
+    SWEEP_BEGIN,
+    SWEEP_END,
+    SweepLedger,
+    worker_emit,
+)
+from ..obs.profile import profile_call
+from ..obs.profile import spool_path as _profile_spool_path
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from .cache import ResultCache
 from .chaos import ChaosConfig
@@ -131,18 +150,45 @@ class SweepStats:
 # Worker side
 # ----------------------------------------------------------------------
 _WORKER_COST_MODEL: CostModel = DEFAULT_COST_MODEL
+_WORKER_LEDGER_PATH: Optional[str] = None
+_WORKER_PROFILE_DIR: Optional[str] = None
 
 
-def _init_worker(cost_model: CostModel) -> None:
-    global _WORKER_COST_MODEL
+def _init_worker(
+    cost_model: CostModel,
+    ledger_path: Optional[str] = None,
+    profile_dir: Optional[str] = None,
+) -> None:
+    global _WORKER_COST_MODEL, _WORKER_LEDGER_PATH, _WORKER_PROFILE_DIR
     _WORKER_COST_MODEL = cost_model
+    _WORKER_LEDGER_PATH = ledger_path
+    _WORKER_PROFILE_DIR = profile_dir
 
 
 def _run_cell(item: Tuple[int, RunConfig]) -> Tuple[int, RunResult, float]:
     index, config = item
+    path = _WORKER_LEDGER_PATH
+    worker_emit(
+        path, ATTEMPT_START, cell=index, attempt=1, workload=config.workload
+    )
     start = time.perf_counter()
-    result = run_benchmark(config, _WORKER_COST_MODEL)
-    return index, result, time.perf_counter() - start
+    if _WORKER_PROFILE_DIR is not None:
+        spool = _profile_spool_path(_WORKER_PROFILE_DIR, index, 1)
+        result = profile_call(spool, run_benchmark, config, _WORKER_COST_MODEL)
+        worker_emit(path, PROFILE, cell=index, attempt=1, spool=spool)
+    else:
+        result = run_benchmark(config, _WORKER_COST_MODEL)
+    wall = time.perf_counter() - start
+    worker_emit(
+        path,
+        ATTEMPT_END,
+        cell=index,
+        attempt=1,
+        ok=True,
+        wall_s=wall,
+        workload=config.workload,
+    )
+    return index, result, wall
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +203,8 @@ def run_grid(
     retry: Optional[RetryPolicy] = None,
     timeout_s: Optional[float] = None,
     chaos: Optional[ChaosConfig] = None,
+    ledger: Optional[SweepLedger] = None,
+    profile_dir: Optional[str] = None,
 ) -> Tuple[List[RunResult], SweepStats]:
     """Execute every cell; results come back in input order.
 
@@ -170,19 +218,33 @@ def run_grid(
     then contains only the surviving results (still input-ordered) and
     ``stats.fault_tolerance`` reports the casualties. ``chaos`` is the
     test/CI hook that injects worker failures.
+
+    ``ledger`` is the flight recorder (:mod:`repro.obs.ledger`):
+    parent-side events go through it (and its listeners — live
+    progress, serve job counters); workers append straight to its
+    ``path``, if any. ``profile_dir`` arms per-attempt cProfile
+    spooling in workers. Both are strictly observational — they never
+    change the returned results.
     """
     if jobs == 0:
         jobs = default_jobs()
     configs = list(configs)
     stats = SweepStats(jobs=max(1, jobs), cells=len(configs))
     results: List[Optional[RunResult]] = [None] * len(configs)
+    recorder = ledger if ledger is not None else SweepLedger()
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
     started = time.perf_counter()
+    recorder.emit(
+        SWEEP_BEGIN, schema=LEDGER_SCHEMA, cells=len(configs), jobs=max(1, jobs)
+    )
 
     pending: List[Tuple[int, RunConfig]] = []
     for index, config in enumerate(configs):
         if cache is not None:
             lookup_start = time.perf_counter()
             hit = cache.get(config)
+            lookup_wall = time.perf_counter() - lookup_start
             if hit is not None:
                 results[index] = hit
                 stats.cache_hits += 1
@@ -191,17 +253,75 @@ def run_grid(
                         index=index,
                         workload=config.workload,
                         description=_describe(config),
-                        wall_s=time.perf_counter() - lookup_start,
+                        wall_s=lookup_wall,
                         cached=True,
                         completed=hit.completed,
                     )
                 )
+                recorder.emit(
+                    CACHE_HIT,
+                    cell=index,
+                    workload=config.workload,
+                    wall_s=lookup_wall,
+                )
                 continue
             stats.cache_misses += 1
+            recorder.emit(
+                CACHE_MISS,
+                cell=index,
+                workload=config.workload,
+                wall_s=lookup_wall,
+            )
         pending.append((index, config))
 
+    completed = 0
+
+    def _complete(
+        index: int, result: RunResult, wall: float, collect: bool = True
+    ) -> None:
+        nonlocal completed
+        results[index] = result
+        stats.busy_s += wall
+        stats.timings.append(
+            CellTiming(
+                index=index,
+                workload=result.config.workload,
+                description=_describe(result.config),
+                wall_s=wall,
+                cached=False,
+                completed=result.completed,
+            )
+        )
+        if collect:
+            recorder.emit(
+                COLLECT,
+                cell=index,
+                workload=result.config.workload,
+                wall_s=wall,
+            )
+        if cache is not None:
+            store_start = time.perf_counter()
+            cache.put(result.config, result)
+            recorder.emit(
+                CACHE_STORE,
+                cell=index,
+                workload=result.config.workload,
+                wall_s=time.perf_counter() - store_start,
+            )
+        completed += 1
+        if completed % CHECKPOINT_EVERY == 0:
+            recorder.emit(CHECKPOINT, done=completed, total=len(pending))
+        if progress is not None:
+            progress(
+                f"{result.config.workload} {_describe(result.config)}: "
+                f"{'ok' if result.completed else 'DNF'} ({wall:.2f}s)"
+            )
+
+    teardown_s = 0.0
     if pending:
         if retry is not None or timeout_s is not None or chaos is not None:
+            # The executor emits dispatch/collect itself (it learns of
+            # completions at reap time, not in bulk afterwards).
             completions, ft_report = run_cells_fault_tolerant(
                 pending,
                 cost_model,
@@ -211,44 +331,61 @@ def run_grid(
                 progress=progress,
                 chaos=chaos,
                 describe=_describe,
+                ledger=recorder,
+                profile_dir=profile_dir,
             )
             stats.fault_tolerance.merge(ft_report)
+            for index, result, wall in completions:
+                _complete(index, result, wall, collect=False)
         elif jobs <= 1:
-            _init_worker(cost_model)
+            _init_worker(cost_model, recorder.path, profile_dir)
             try:
-                completions = [_run_cell(item) for item in pending]
+                for item in pending:
+                    recorder.emit(
+                        DISPATCH, cell=item[0], workload=item[1].workload
+                    )
+                    index, result, wall = _run_cell(item)
+                    _complete(index, result, wall)
             finally:
                 _init_worker(DEFAULT_COST_MODEL)
         else:
             workers = min(jobs, len(pending))
             context = multiprocessing.get_context()
-            with context.Pool(
-                workers, initializer=_init_worker, initargs=(cost_model,)
-            ) as pool:
-                completions = list(pool.imap_unordered(_run_cell, pending))
-        for index, result, wall in completions:
-            results[index] = result
-            stats.busy_s += wall
-            stats.timings.append(
-                CellTiming(
-                    index=index,
-                    workload=result.config.workload,
-                    description=_describe(result.config),
-                    wall_s=wall,
-                    cached=False,
-                    completed=result.completed,
-                )
+            # Dispatch means "queued on the pool": the gap to each
+            # cell's attempt_start is time spent waiting for a slot —
+            # including the pool's own startup, hence before Pool().
+            for index, config in pending:
+                recorder.emit(DISPATCH, cell=index, workload=config.workload)
+            pool = context.Pool(
+                workers,
+                initializer=_init_worker,
+                initargs=(cost_model, recorder.path, profile_dir),
             )
-            if cache is not None:
-                cache.put(result.config, result)
-            if progress is not None:
-                progress(
-                    f"{result.config.workload} {_describe(result.config)}: "
-                    f"{'ok' if result.completed else 'DNF'} ({wall:.2f}s)"
-                )
+            try:
+                for index, result, wall in pool.imap_unordered(
+                    _run_cell, pending
+                ):
+                    _complete(index, result, wall)
+            finally:
+                # Same semantics as `with Pool(...)` (__exit__ calls
+                # terminate), but timed: winding the pool down is real
+                # wall time the ledger must account for.
+                teardown_start = time.perf_counter()
+                pool.terminate()
+                pool.join()
+                teardown_s = time.perf_counter() - teardown_start
 
     stats.timings.sort(key=lambda timing: timing.index)
     stats.wall_s = time.perf_counter() - started
+    recorder.emit(
+        SWEEP_END,
+        cells=len(configs),
+        executed=completed,
+        cached=stats.cache_hits,
+        quarantined=len(stats.fault_tolerance.quarantined),
+        wall_s=stats.wall_s,
+        teardown_s=teardown_s,
+    )
     final = [result for result in results if result is not None]
     # Quarantined cells are the only legitimate gaps (partial results
     # instead of an aborted sweep); anything else missing is a bug.

@@ -4,11 +4,16 @@ import json
 
 from repro.obs import Tracer, chrome_trace, validate_chrome_trace
 from repro.obs.export import (
+    LEDGER_CATEGORIES,
+    PARENT_TID,
     PROCESS_ID,
     TRACK_IDS,
     UNITS_PER_US,
+    ledger_chrome_trace,
+    validate_jsonl_trace,
     write_chrome_trace,
     write_jsonl,
+    write_ledger_chrome_trace,
 )
 from repro.obs.trace import HARDWARE, OS, RUNTIME
 
@@ -126,3 +131,137 @@ class TestJsonl:
             "ts": 0.0,
             "args": {"line": 7},
         }
+
+
+class TestJsonlValidator:
+    def lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_tracer(), str(path))
+        return path.read_text().splitlines()
+
+    def test_clean_output_validates(self, tmp_path):
+        assert validate_jsonl_trace(self.lines(tmp_path)) == []
+
+    def test_truncated_final_line(self, tmp_path):
+        lines = self.lines(tmp_path)
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        problems = validate_jsonl_trace(lines)
+        assert any("truncated or unparseable" in p for p in problems)
+
+    def test_interior_truncation_is_flagged_too(self, tmp_path):
+        lines = self.lines(tmp_path)
+        lines[1] = lines[1][:10]
+        problems = validate_jsonl_trace(lines)
+        assert any("line 2" in p for p in problems)
+
+    def test_out_of_order_timestamps(self, tmp_path):
+        lines = self.lines(tmp_path)
+        lines.append(json.dumps({"name": "late", "ph": "i", "ts": 0.5}))
+        problems = validate_jsonl_trace(lines)
+        assert any("goes backwards" in p for p in problems)
+
+    def test_unknown_event_type(self):
+        line = json.dumps({"name": "x", "ph": "Q", "ts": 1.0})
+        problems = validate_jsonl_trace([line])
+        assert any("unknown event type 'Q'" in p for p in problems)
+
+    def test_unknown_category(self):
+        line = json.dumps({"name": "x", "ph": "i", "cat": "nope", "ts": 1.0})
+        assert any(
+            "unknown cat" in p for p in validate_jsonl_trace([line])
+        )
+        # The same cat can be legal under a different vocabulary.
+        sweep = json.dumps({"name": "x", "ph": "i", "cat": "sweep", "ts": 1.0})
+        assert validate_jsonl_trace([sweep], LEDGER_CATEGORIES) == []
+
+    def test_bad_timestamp_and_missing_name(self):
+        problems = validate_jsonl_trace(
+            [json.dumps({"ph": "i", "ts": -1.0})]
+        )
+        assert any("missing name" in p for p in problems)
+        assert any("non-negative" in p for p in problems)
+
+    def test_non_object_line(self):
+        assert any(
+            "not an object" in p for p in validate_jsonl_trace(["[1, 2]"])
+        )
+
+    def test_empty_stream(self):
+        assert validate_jsonl_trace(["", "   "]) == ["no events"]
+
+
+def sample_ledger_events():
+    """A parent (pid 1) and two workers (7, 8), fixed unix stamps."""
+    return [
+        {"t": 100.0, "pid": 1, "ev": "sweep_begin", "cells": 3, "jobs": 2},
+        {"t": 100.1, "pid": 1, "ev": "cache_hit", "cell": 0,
+         "workload": "fop", "wall_s": 0.1},
+        {"t": 100.2, "pid": 1, "ev": "dispatch", "cell": 1,
+         "workload": "antlr"},
+        {"t": 100.2, "pid": 1, "ev": "dispatch", "cell": 2,
+         "workload": "bloat"},
+        {"t": 101.0, "pid": 7, "ev": "attempt_start", "cell": 1,
+         "attempt": 1},
+        {"t": 103.0, "pid": 7, "ev": "attempt_end", "cell": 1, "attempt": 1,
+         "ok": True, "wall_s": 2.0},
+        {"t": 101.0, "pid": 8, "ev": "attempt_start", "cell": 2,
+         "attempt": 1},
+        {"t": 104.0, "pid": 8, "ev": "attempt_end", "cell": 2, "attempt": 1,
+         "ok": True, "wall_s": 3.0},
+        {"t": 103.1, "pid": 1, "ev": "collect", "cell": 1,
+         "workload": "antlr", "wall_s": 2.0},
+        {"t": 104.1, "pid": 1, "ev": "collect", "cell": 2,
+         "workload": "bloat", "wall_s": 3.0},
+        {"t": 104.2, "pid": 1, "ev": "sweep_end", "cells": 3, "executed": 2,
+         "cached": 1, "quarantined": 0, "wall_s": 4.2},
+    ]
+
+
+class TestLedgerChromeTrace:
+    def test_validates_under_the_sweep_vocabulary(self):
+        payload = ledger_chrome_trace(sample_ledger_events())
+        assert validate_chrome_trace(payload, LEDGER_CATEGORIES) == []
+
+    def test_one_track_per_worker_pid(self):
+        payload = ledger_chrome_trace(sample_ledger_events())
+        spans = {
+            e["name"]: e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("cell ")
+        }
+        # Workers 7 and 8 get distinct tracks, neither the parent's.
+        tids = {spans[name]["tid"] for name in spans}
+        assert len(tids) == 2
+        assert PARENT_TID not in tids
+        assert payload["otherData"]["workers"] == 2
+
+    def test_attempt_spans_use_wall_clock_microseconds(self):
+        payload = ledger_chrome_trace(sample_ledger_events())
+        span = next(
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e.get("args", {}).get("cell") == 1
+        )
+        # attempt_start at t=101 is 1 s after the sweep's t0=100.
+        assert span["ts"] == 1_000_000.0
+        assert span["dur"] == 2_000_000.0
+
+    def test_parent_instants_and_cache_spans_on_parent_track(self):
+        payload = ledger_chrome_trace(sample_ledger_events())
+        instants = [
+            e for e in payload["traceEvents"] if e["ph"] == "i"
+        ]
+        assert instants
+        assert all(e["tid"] == PARENT_TID for e in instants)
+
+    def test_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "ledger-trace.json"
+        written = write_ledger_chrome_trace(
+            sample_ledger_events(), str(path), metadata={"plan": "smoke"}
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert loaded["otherData"]["plan"] == "smoke"
+        assert loaded["otherData"]["ledger_events"] == len(
+            sample_ledger_events()
+        )

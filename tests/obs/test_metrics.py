@@ -60,6 +60,29 @@ class TestHistogram:
         assert hist.percentile(1.0) == pytest.approx(4.0)
         assert Histogram("e", "", (), buckets=(1.0,)).percentile(0.5) == 0.0
 
+    def test_percentile_zero_and_negative_quantile(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        # q <= 0 asks for "the value no observation is below": 0.0,
+        # never a bucket bound.
+        assert hist.percentile(0.0) == 0.0
+        assert hist.percentile(-1.0) == 0.0
+
+    def test_percentile_clamps_oversized_quantile(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        assert hist.percentile(5.0) == hist.percentile(1.0) == 1.0
+
+    def test_percentile_mass_in_overflow_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        # All mass beyond the last bound: no finite bound covers the
+        # target, so the answer is +Inf, not the last bound.
+        assert hist.percentile(0.5) == float("inf")
+        hist.observe(0.5)
+        assert hist.percentile(0.5) == 1.0
+        assert hist.percentile(1.0) == float("inf")
+
 
 class TestPrometheusRendering:
     def test_golden_output(self):

@@ -1,0 +1,93 @@
+"""Worker profiling: spool naming, capture, merge, rendering."""
+
+import pstats
+
+import pytest
+
+from repro.obs.profile import (
+    merge_profiles,
+    profile_call,
+    render_hotspots,
+    spool_path,
+)
+
+
+def busy(n: int) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestSpoolPath:
+    def test_encodes_cell_and_attempt(self, tmp_path):
+        path = spool_path(str(tmp_path), 3, 2)
+        assert path.endswith("cell-3-attempt-2.pstats")
+        assert path.startswith(str(tmp_path))
+
+
+class TestProfileCall:
+    def test_returns_result_and_spools_stats(self, tmp_path):
+        out = spool_path(str(tmp_path), 0, 1)
+        result = profile_call(out, busy, 1000)
+        assert result == busy(1000)
+        stats = pstats.Stats(out)
+        assert stats.total_calls > 0
+
+    def test_spools_even_when_the_call_raises(self, tmp_path):
+        out = spool_path(str(tmp_path), 0, 1)
+
+        def explode():
+            busy(100)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_call(out, explode)
+        # The partial profile still lands — a crashed attempt's time
+        # is exactly the kind we want to see.
+        assert pstats.Stats(out).total_calls > 0
+
+
+class TestMergeProfiles:
+    def test_merges_and_ranks_by_cumulative(self, tmp_path):
+        paths = [spool_path(str(tmp_path), i, 1) for i in range(2)]
+        for path in paths:
+            profile_call(path, busy, 5000)
+        rows, problems = merge_profiles(paths)
+        assert problems == []
+        assert rows
+        assert all(
+            set(row) == {"site", "calls", "tottime_s", "cumtime_s"}
+            for row in rows
+        )
+        cumtimes = [row["cumtime_s"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        # Both spools profiled busy(); its calls add across the merge.
+        busy_row = next(row for row in rows if "busy" in row["site"])
+        assert busy_row["calls"] >= 2
+
+    def test_honors_top(self, tmp_path):
+        path = spool_path(str(tmp_path), 0, 1)
+        profile_call(path, busy, 1000)
+        rows, _ = merge_profiles([path], top=1)
+        assert len(rows) == 1
+
+    def test_missing_spool_reported_not_fatal(self, tmp_path):
+        good = spool_path(str(tmp_path), 0, 1)
+        profile_call(good, busy, 1000)
+        rows, problems = merge_profiles([good, str(tmp_path / "gone.pstats")])
+        assert rows  # the good spool still merges
+        assert len(problems) == 1
+        assert "gone.pstats" in problems[0]
+
+    def test_no_spools(self):
+        rows, problems = merge_profiles([])
+        assert rows == []
+        assert problems == []
+
+
+class TestRenderHotspots:
+    def test_table_has_header_and_sites(self, tmp_path):
+        path = spool_path(str(tmp_path), 0, 1)
+        profile_call(path, busy, 1000)
+        rows, _ = merge_profiles([path])
+        lines = render_hotspots(rows)
+        assert "cumulative(s)" in lines[0]
+        assert any("busy" in line for line in lines[1:])

@@ -66,3 +66,28 @@ class TestOneShotMain:
             "axes:\n  rate: [0.0]\n"
         )
         assert client_main([str(plan), "--url", service.url]) == 2
+
+    def test_narrates_progress_while_polling(self, service, tmp_path, capsys):
+        plan = write_plan_with_include(tmp_path)
+        out = tmp_path / "artifact.json"
+        code = client_main(
+            [str(plan), "--url", service.url, "--out", str(out), "--poll", "0.05"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        # The terminal poll always reports the final count; earlier
+        # polls may or may not land mid-run, so assert only the end.
+        assert "1/1 cells" in err
+
+
+class TestWaitCallback:
+    def test_on_status_sees_every_polled_document(self, service, tmp_path):
+        client = ServeClient(service.url)
+        status = client.submit_file(write_plan_with_include(tmp_path))
+        seen = []
+        done = client.wait(
+            status["id"], timeout_s=60, poll_s=0.05, on_status=seen.append
+        )
+        assert seen
+        assert seen[-1] == done
+        assert seen[-1]["progress"]["executed"] == 1

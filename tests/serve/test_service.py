@@ -101,6 +101,46 @@ class TestJobLifecycle:
         assert [job["id"] for job in listed] == [first["id"]]
 
 
+class TestJobProgress:
+    def test_status_reports_cell_accounting(self, client):
+        status = client.submit(TINY_PLAN)
+        assert status["cells_total"] == 2
+        assert status["cached_cells"] == 0
+        assert status["progress"] is None  # still queued
+        done = client.wait(status["id"], timeout_s=60)
+        assert done["cells_total"] == 2
+        assert done["executed_cells"] == 2
+        assert done["cached_cells"] == 0
+        progress = done["progress"]
+        assert progress["cells_total"] == 2
+        assert progress["executed"] == 2
+        assert progress["cached"] == 0
+        assert progress["quarantined"] == 0
+        assert progress["running"] == 0
+        # The per-cell narration line is kept, not dropped.
+        assert isinstance(progress["message"], str)
+        assert "luindex" in progress["message"]
+
+    def test_cached_resubmission_counts_hits(self, client):
+        first = client.submit(TINY_PLAN)
+        client.wait(first["id"], timeout_s=60)
+        second = client.submit(TINY_PLAN)
+        done = client.wait(second["id"], timeout_s=60)
+        assert done["executed_cells"] == 0
+        assert done["cached_cells"] == 2
+        assert done["progress"]["hit_rate"] == 1.0
+
+    def test_cell_wall_histograms_on_metrics(self, service, client):
+        status = client.submit(TINY_PLAN)
+        client.wait(status["id"], timeout_s=60)
+        client.submit(TINY_PLAN)
+        client.wait(f"job-{2:06d}", timeout_s=60)
+        metrics = client.metrics()
+        assert "repro_serve_cells_executed_total 2" in metrics
+        assert "repro_serve_cell_wall_seconds_count 2" in metrics
+        assert "repro_serve_cache_lookup_seconds_count 2" in metrics
+
+
 class TestErrorMapping:
     def test_precheck_rejection_is_422_with_all_problems(self, client):
         with pytest.raises(PlanRejected) as excinfo:

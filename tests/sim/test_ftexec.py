@@ -175,3 +175,62 @@ class TestExecutorWithFakeClock:
         assert report.timeouts == 1
         assert len(report.quarantined) == 1
         assert "timeout" in report.quarantined[0].failures[0]
+
+
+class TestLedgerEmission:
+    def test_clean_run_tells_a_complete_story(self, tmp_path):
+        from repro.obs.ledger import SweepLedger, read_ledger
+
+        ledger = SweepLedger(str(tmp_path / "ledger.jsonl"))
+        run_cells_fault_tolerant(
+            tiny_cells(2), DEFAULT_COST_MODEL, jobs=2,
+            policy=RetryPolicy(), clock=FakeClock(), ledger=ledger,
+        )
+        events, problems = read_ledger(ledger.path)
+        assert problems == []
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event["ev"], []).append(event)
+        # Parent side: one dispatch + one collect per cell...
+        assert len(by_kind["dispatch"]) == 2
+        assert len(by_kind["collect"]) == 2
+        # ...and worker side: matching attempt bounds from other pids.
+        assert len(by_kind["attempt_start"]) == 2
+        assert len(by_kind["attempt_end"]) == 2
+        parent_pid = by_kind["dispatch"][0]["pid"]
+        assert all(e["pid"] != parent_pid for e in by_kind["attempt_start"])
+        assert all(e["ok"] for e in by_kind["attempt_end"])
+
+    def test_chaos_emits_retry_and_quarantine(self, tmp_path):
+        from repro.obs.ledger import SweepLedger, read_ledger
+        from repro.sim.chaos import ChaosConfig
+
+        ledger = SweepLedger(str(tmp_path / "ledger.jsonl"))
+        chaos = ChaosConfig(mode="raise", probability=1.0)
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0)
+        run_cells_fault_tolerant(
+            tiny_cells(1), DEFAULT_COST_MODEL, jobs=1, policy=policy,
+            clock=FakeClock(), chaos=chaos, ledger=ledger,
+        )
+        events, problems = read_ledger(ledger.path)
+        assert problems == []
+        kinds = [e["ev"] for e in events]
+        assert kinds.count("retry") == 1
+        assert kinds.count("quarantine") == 1
+        assert "collect" not in kinds
+        retry = next(e for e in events if e["ev"] == "retry")
+        assert retry["attempt"] == 2
+        assert retry["wait_s"] > 0
+        quarantine = next(e for e in events if e["ev"] == "quarantine")
+        assert quarantine["attempts"] == 2
+        # Failed attempts still close their attempt spans (ok: false).
+        ends = [e for e in events if e["ev"] == "attempt_end"]
+        assert ends and all(e["ok"] is False for e in ends)
+
+    def test_no_ledger_means_no_emission(self):
+        completions, report = run_cells_fault_tolerant(
+            tiny_cells(1), DEFAULT_COST_MODEL, jobs=1,
+            policy=RetryPolicy(), clock=FakeClock(), ledger=None,
+        )
+        assert report.clean
+        assert len(completions) == 1

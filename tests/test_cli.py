@@ -416,3 +416,140 @@ class TestFiguresPlan:
         )
         assert main(["figures", "--plan", path, "--scale", "0.1"]) == 2
         assert "--scale" in capsys.readouterr().err
+
+
+class TestSweepRecorder:
+    """The flight-recorder flags: --ledger / --profile-cells / --progress."""
+
+    def sweep(self, tmp_path, *extra, name="sweep.json"):
+        out = tmp_path / name
+        code = main(
+            ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+             "--scale", "0.2", "--out", str(out)] + list(extra)
+        )
+        return code, out
+
+    def test_ledger_records_the_sweep(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.ledger import read_ledger
+
+        ledger = tmp_path / "sweep.ledger.jsonl"
+        code, out = self.sweep(tmp_path, "--ledger", str(ledger))
+        assert code == 0
+        events, problems = read_ledger(str(ledger))
+        assert problems == []
+        kinds = {e["ev"] for e in events}
+        assert {"sweep_begin", "sweep_end", "dispatch", "attempt_start",
+                "attempt_end", "collect"} <= kinds
+        # The artifact gains a wall_clock block next to results.
+        payload = json.loads(out.read_text())
+        assert payload["wall_clock"]["schema"] == "repro.ledger-report/1"
+        assert payload["wall_clock"]["executed"] == 2
+        assert len(payload["results"]) == 2
+
+    def test_results_bit_identical_with_recorder_on(self, capsys, tmp_path):
+        import json
+
+        plain_code, plain = self.sweep(tmp_path, name="plain.json")
+        rec_code, recorded = self.sweep(
+            tmp_path, "--ledger", str(tmp_path / "l.jsonl"),
+            "--profile-cells", "--jobs", "2", name="recorded.json",
+        )
+        assert plain_code == rec_code == 0
+        plain_results = json.loads(plain.read_text())["results"]
+        recorded_results = json.loads(recorded.read_text())["results"]
+        assert plain_results == recorded_results
+
+    def test_profile_cells_defaults_ledger_and_spools(self, capsys, tmp_path):
+        code, out = self.sweep(tmp_path, "--profile-cells")
+        assert code == 0
+        assert (tmp_path / "sweep.ledger.jsonl").exists()
+        spools = list((tmp_path / "sweep.ledger.profiles").glob("*.pstats"))
+        assert len(spools) == 2
+
+    def test_progress_narrates(self, capsys, tmp_path):
+        code, _ = self.sweep(tmp_path, "--progress")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "progress: 2/2 cells" in err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [["--ledger", "l.jsonl"], ["--profile-cells"], ["--progress"]],
+    )
+    def test_recorder_conflicts_with_trace(self, capsys, tmp_path, extra):
+        code = main(
+            ["sweep", "--trace", str(tmp_path / "t"), "--workloads",
+             "luindex", "--rates", "0", "--scale", "0.2",
+             "--out", str(tmp_path / "s.json")] + extra
+        )
+        assert code == 2
+        assert extra[0] in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def recorded_sweep(self, tmp_path, *extra):
+        ledger = tmp_path / "sweep.ledger.jsonl"
+        code = main(
+            ["sweep", "--workloads", "luindex", "--rates", "0", "0.1",
+             "--scale", "0.2", "--out", str(tmp_path / "sweep.json"),
+             "--ledger", str(ledger)] + list(extra)
+        )
+        assert code == 0
+        return str(ledger)
+
+    def test_human_report(self, capsys, tmp_path):
+        ledger = self.recorded_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["report", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "simulate" in out
+        assert "coverage" in out
+        assert "slowest cells" in out
+
+    def test_json_report_meets_coverage_floor(self, capsys, tmp_path):
+        import json
+
+        ledger = self.recorded_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["report", ledger, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.ledger-report/1"
+        assert payload["cells"] == 2
+        assert payload["executed"] == 2
+        assert payload["ledger_problems"] == []
+        # The acceptance floor: the ledger explains >= 95 % of the
+        # measured wall clock on a sweep that executes its cells.
+        assert payload["coverage"] >= 0.95
+
+    def test_report_merges_profiles(self, capsys, tmp_path):
+        ledger = self.recorded_sweep(tmp_path, "--profile-cells")
+        capsys.readouterr()
+        assert main(["report", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots" in out
+        assert "cumulative(s)" in out
+
+    def test_trace_out_writes_valid_wall_clock_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+        from repro.obs.export import LEDGER_CATEGORIES
+
+        ledger = self.recorded_sweep(tmp_path)
+        trace = tmp_path / "wall.json"
+        assert main(["report", ledger, "--trace-out", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload, LEDGER_CATEGORIES) == []
+
+    def test_missing_ledger_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_ledger_exits_1(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
