@@ -31,6 +31,7 @@ from typing import Dict, List, Set, Tuple
 from ..collectors.immix import ImmixCollector
 from ..hardware.clustering import region_direction
 from ..heap import line_table
+from ..heap.heap_table import UNMAPPED
 from ..heap.line_table import FAILED, FREE, LIVE, LIVE_PINNED
 from ..osim.page import PageKind
 from .audit import Violation
@@ -690,6 +691,66 @@ def check_kernel_caches(vm, violations: List[Violation], trigger: str) -> None:
                         actual=f"{len(objs)} indexed objects at {starts[:8]}",
                     )
                 )
+    heap_table = getattr(collector, "table", None)
+    if heap_table is not None:
+        pairs = (
+            ("free_line_count", heap_table.free_line_count(),
+             heap_table.free_line_count_reference()),
+            ("failed_line_count", heap_table.failed_line_count(),
+             heap_table.failed_line_count_reference()),
+            ("slots_with_free_lines", heap_table.slots_with_free_lines(),
+             heap_table.slots_with_free_lines_reference()),
+        )
+        for name, fast, reference in pairs:
+            if fast != reference:
+                violations.append(
+                    Violation(
+                        invariant="kernel-cache-coherence",
+                        layer="heap",
+                        message=f"heap table's whole-heap {name} kernel "
+                        "diverged from the per-slot reference scan",
+                        expected=f"{reference}",
+                        actual=f"{fast}",
+                    )
+                )
+        for slot in heap_table.active_slots():
+            guard = heap_table.lines[heap_table.base(slot) + heap_table.lines_per_block]
+            if guard != UNMAPPED:
+                violations.append(
+                    Violation(
+                        invariant="kernel-cache-coherence",
+                        layer="heap",
+                        message=f"slot {slot}'s guard byte was overwritten "
+                        "(a segment write escaped its block)",
+                        expected=f"0x{UNMAPPED:02X}",
+                        actual=f"0x{guard:02X}",
+                    )
+                )
+    supply = vm.supply
+    if supply.free_real_pages != supply.recount_free_pages():
+        violations.append(
+            Violation(
+                invariant="kernel-cache-coherence",
+                layer="heap",
+                message="page supply's incremental free-page count diverged "
+                "from the per-span recount",
+                expected=f"{supply.recount_free_pages()} free pages",
+                actual=f"{supply.free_real_pages}",
+            )
+        )
+    for span in supply._spans:
+        n_perfect = sum(1 for page in span.free if page.is_perfect)
+        if span.n_free_perfect != n_perfect:
+            violations.append(
+                Violation(
+                    invariant="kernel-cache-coherence",
+                    layer="heap",
+                    message=f"span {span.index}'s incremental free-perfect "
+                    "count diverged from a rescan of its free list",
+                    expected=f"{n_perfect} perfect pages",
+                    actual=f"{span.n_free_perfect}",
+                )
+            )
     table = vm.os.failure_table
     count = 0
     for page_index in table.imperfect_pages():

@@ -1140,6 +1140,18 @@ def cmd_report(args) -> int:
         f"{len(report['quarantined'])} quarantined, "
         f"waste {report['waste_s']:.2f}s"
     )
+    transport = report.get("transport", {})
+    if transport.get("result_bytes") or transport.get("pickle_bytes"):
+        moved = transport["result_bytes"]
+        pickled = transport["pickle_bytes"]
+        line = f"transport     {moved / 1024:.1f} KiB moved"
+        if pickled > moved:
+            line += (
+                f" (pickle would have moved {pickled / 1024:.1f} KiB; "
+                f"saved {transport['saved_bytes'] / 1024:.1f} KiB, "
+                f"{1 - moved / pickled:.0%})"
+            )
+        obslog.out(line)
     obslog.out(f"workers       {len(report['workers'])} process(es)")
     if report["slowest_cells"]:
         obslog.out(f"slowest cells (top {len(report['slowest_cells'])})")
@@ -1493,6 +1505,18 @@ def cmd_plan(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obslog.setup(-1 if args.quiet else args.verbose)
+    # Environment switches are validated lazily (import never raises on
+    # a bad value) so a typo'd REPRO_KERNELS=refrence produces a usage
+    # error here — exit 2 — instead of a bare import-time traceback.
+    from .heap.line_table import validate_kernel_mode
+    from .sim.transport import validate_transport_mode
+
+    for validate in (validate_kernel_mode, validate_transport_mode):
+        try:
+            validate()
+        except ValueError as exc:
+            obslog.warn(f"usage: {exc}")
+            return 2
     handlers = {
         "figures": cmd_figures,
         "sweep": cmd_sweep,

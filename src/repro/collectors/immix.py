@@ -26,7 +26,9 @@ from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ..errors import OutOfMemoryError
 from ..hardware.geometry import Geometry
+from ..heap import line_table
 from ..heap.block import Block
+from ..heap.heap_table import HeapTable
 from ..heap.large_object_space import LargeObjectSpace
 from ..heap.object_model import SimObject, reachable_from
 from ..heap.page_supply import PageSupply
@@ -136,6 +138,8 @@ class ImmixCollector:
         self.config = config or ImmixConfig()
         self.stats = stats or GcStats()
         self.los = LargeObjectSpace(supply, geometry)
+        #: Whole-heap line-state arrays; every block is a segment view.
+        self.table = HeapTable(geometry)
         self.blocks: List[Block] = []
         self._recycled: Deque[Block] = deque()
         self._state: Optional[_BumpState] = None
@@ -159,6 +163,16 @@ class ImmixCollector:
         self.factory = factory
         #: Optional observability hook; see :mod:`repro.obs.trace`.
         self.tracer = None
+        self._bind_hot_scalars()
+
+    def _bind_hot_scalars(self) -> None:
+        # The allocation fast path runs once per object; chasing
+        # config/geometry attribute chains there costs more than the
+        # branch work itself. These are construction-time constants.
+        self._large_threshold = self.config.large_threshold
+        self._line_size = self.geometry.immix_line
+        self._generational = self.config.generational
+        self._collect_before_perfect = self.config.collect_before_perfect
 
     def __getstate__(self) -> dict:
         """Snapshot support: heap structure persists, wiring does not."""
@@ -196,21 +210,23 @@ class ImmixCollector:
         post-collection retry, unlocking the perfect/borrow fallbacks.
         """
         size = obj.size
-        allow_perfect = after_gc or not self.config.collect_before_perfect
-        if size > self.config.large_threshold:
+        allow_perfect = after_gc or not self._collect_before_perfect
+        if size > self._large_threshold:
             placed = self._alloc_large(obj, allow_borrow=allow_perfect)
-        elif size > self.geometry.immix_line:
+        elif size > self._line_size:
             placed = self._alloc_medium(obj, allow_perfect)
         else:
             placed = self._alloc_small(obj)
         if placed:
-            self.stats.objects_allocated += 1
-            self.stats.bytes_allocated += size
-            if obj.block is not None and obj.block.failed_lines:
-                self.stats.block_sparsity_units += (
-                    size * len(obj.block.failed_lines) / obj.block.n_lines
+            stats = self.stats
+            stats.objects_allocated += 1
+            stats.bytes_allocated += size
+            block = obj.block
+            if block is not None and block.failed_lines:
+                stats.block_sparsity_units += (
+                    size * len(block.failed_lines) / block.n_lines
                 )
-            if self.config.generational:
+            if self._generational:
                 self._young.append(obj)
         return placed
 
@@ -270,8 +286,9 @@ class ImmixCollector:
             if state is not None and state.cursor + size <= state.limit:
                 state.block.place(obj, state.cursor)
                 state.cursor += size
-                self.stats.fast_path_allocs += 1
-                self.stats.run_locality_units += size / state.run_lines
+                stats = self.stats
+                stats.fast_path_allocs += 1
+                stats.run_locality_units += size / state.run_lines
                 return True
             state = self._advance_small()
             if state is None:
@@ -307,7 +324,7 @@ class ImmixCollector:
         pages = self.supply.take_block_pages()
         if pages is None:
             return None
-        block = Block(self._next_block_index, pages, self.geometry)
+        block = Block(self._next_block_index, pages, self.geometry, table=self.table)
         self._next_block_index += 1
         self.blocks.append(block)
         for slot, page in enumerate(pages):
@@ -359,7 +376,7 @@ class ImmixCollector:
         line_size = self.geometry.immix_line
         pages = self.supply.take_block_pages()
         if pages is not None:
-            block = Block(self._next_block_index, pages, self.geometry)
+            block = Block(self._next_block_index, pages, self.geometry, table=self.table)
             self._next_block_index += 1
             self.blocks.append(block)
             for slot, page in enumerate(pages):
@@ -426,7 +443,7 @@ class ImmixCollector:
         except OutOfMemoryError:
             return False
         self._trace_block_acquired("perfect")
-        block = Block(self._next_block_index, pages, self.geometry)
+        block = Block(self._next_block_index, pages, self.geometry, table=self.table)
         self._next_block_index += 1
         self.blocks.append(block)
         for slot, page in enumerate(pages):
@@ -623,6 +640,9 @@ class ImmixCollector:
         for page in block.pages:
             self.page_directory.pop(page.index, None)
         self.supply.release_all(block.pages)
+        # Blank the block's heap-table segment so whole-heap scans stop
+        # seeing it; the slot is recycled for the next block.
+        self.table.retire(block.slot)
         if from_list:
             self.blocks.remove(block)
         try:
@@ -650,12 +670,24 @@ class ImmixCollector:
                 histogram.observe(length)
 
     def _rebuild_allocation_state(self, exclude_evacuating: bool) -> None:
-        candidates = [
-            block
-            for block in self.blocks
-            if block.free_line_count() > 0
-            and not (exclude_evacuating and block.evacuate)
-        ]
+        if line_table.use_reference_kernels():
+            candidates = [
+                block
+                for block in self.blocks
+                if block.free_line_count() > 0
+                and not (exclude_evacuating and block.evacuate)
+            ]
+        else:
+            # Whole-heap kernel: one find-jumping scan over the flat
+            # line array yields exactly the blocks with a free line —
+            # every active segment's owner is in self.blocks, so this
+            # is the same candidate set as the per-block filter.
+            owners = self.table.owners
+            candidates = [
+                owners[slot] for slot in self.table.slots_with_free_lines()
+            ]
+            if exclude_evacuating:
+                candidates = [b for b in candidates if not b.evacuate]
         candidates.sort(key=lambda b: b.virtual_index)
         self._recycled = deque(candidates)
         self._state = None
@@ -696,24 +728,53 @@ class ImmixCollector:
                 self._release_block(block)
 
     def _copy_survivors(self, survivors: List[SimObject], epoch: int) -> None:
-        """Opportunistically compact nursery survivors (sticky Immix)."""
+        """Opportunistically compact nursery survivors (sticky Immix).
+
+        Removal from the source block's object list is deferred and
+        batched: placement never consults source object lists (free
+        runs come from line marks, which removal does not touch), so
+        dropping all of a source's moved objects in one list rebuild
+        after the loop is order-equivalent to the eager per-object
+        ``list.remove`` — without its quadratic cost on survivor-heavy
+        nurseries. The two cases where an object re-enters its source
+        list (copy landed in the same block; out-of-space restore) are
+        fixed up eagerly so the final lists match the eager semantics
+        element for element.
+        """
         touched_sources: Set[Block] = set()
+        pending: Dict[Block, Set[int]] = {}
         for obj in survivors:
             if obj.pinned or obj.is_large or obj.block is None:
                 continue
             source = obj.block
             old_offset = obj.offset
-            source.remove_object(obj)
             obj.block = None
             obj.offset = None
+            dropped = pending.setdefault(source, set())
+            dropped.add(id(obj))
             if self._place_copy(obj):
+                if obj.block is source:
+                    # The copy landed back in its own block: the list
+                    # now holds the object twice (stale slot + fresh
+                    # append). Drop the stale entry now, exactly as
+                    # remove-then-place would have.
+                    dropped.discard(id(obj))
+                    source.objects.remove(obj)
+                    source.touch_objects()
                 self.stats.objects_copied += 1
                 self.stats.bytes_copied += obj.size
                 obj.moved_count += 1
                 touched_sources.add(source)
             else:
+                dropped.discard(id(obj))
+                source.objects.remove(obj)
+                source.touch_objects()
                 source.place(obj, old_offset)
                 break  # out of copy space: leave the rest in place
+        for source, dropped in pending.items():
+            if dropped:
+                source.objects = [o for o in source.objects if id(o) not in dropped]
+                source.touch_objects()
         # Recover the space the moved objects vacated right away.
         for source in touched_sources:
             source.rebuild_line_marks(epoch, keep_old=True)
@@ -788,16 +849,28 @@ class ImmixCollector:
 
     # ------------------------------------------------------------------
     def _free_bytes_estimate(self) -> int:
-        block_free = sum(block.usable_bytes() for block in self.blocks)
+        if line_table.use_reference_kernels():
+            block_free = sum(block.usable_bytes() for block in self.blocks)
+        else:
+            # One C-speed count over the whole-heap array; guard bytes
+            # and retired segments are UNMAPPED, so this equals the
+            # per-block sum exactly.
+            block_free = self.table.free_line_count() * self.geometry.immix_line
         return block_free + self.supply.available_pages() * self.geometry.page
 
     def heap_census(self) -> dict:
         """Debug/metrics snapshot of heap composition."""
+        if line_table.use_reference_kernels():
+            failed_lines = sum(b.failed_line_count() for b in self.blocks)
+            free_lines = sum(b.free_line_count() for b in self.blocks)
+        else:
+            failed_lines = self.table.failed_line_count()
+            free_lines = self.table.free_line_count()
         return {
             "blocks": len(self.blocks),
             "recycled": len(self._recycled),
             "los_objects": len(self.los),
             "free_pages": self.supply.available_pages(),
-            "failed_lines": sum(b.failed_line_count() for b in self.blocks),
-            "free_lines": sum(b.free_line_count() for b in self.blocks),
+            "failed_lines": failed_lines,
+            "free_lines": free_lines,
         }

@@ -21,6 +21,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..hardware.geometry import Geometry
 from ..heap.block import Block
+from ..heap.heap_table import HeapTable
 from ..heap.large_object_space import LargeObjectSpace
 from ..heap.object_model import SimObject, reachable_from
 from ..heap.page_supply import PageSupply
@@ -79,6 +80,8 @@ class MarkSweepCollector:
         self.failure_aware = failure_aware
         self.stats = stats or GcStats()
         self.los = LargeObjectSpace(supply, geometry)
+        #: Shared whole-heap line arrays (one segment per class block).
+        self.table = HeapTable(geometry)
         self._classes: Dict[int, _ClassSpace] = {
             cls: _ClassSpace(cls) for cls in SIZE_CLASSES
         }
@@ -129,7 +132,7 @@ class MarkSweepCollector:
         pages = self.supply.take_block_pages()
         if pages is None:
             return False
-        block = Block(self._next_block_index, pages, self.geometry)
+        block = Block(self._next_block_index, pages, self.geometry, table=self.table)
         self._next_block_index += 1
         space.blocks.append(block)
         self.stats.block_requests += 1
@@ -310,6 +313,7 @@ class MarkSweepCollector:
                 self.stats.blocks_swept += 1
                 if not survivors:
                     self.supply.release_all(block.pages)
+                    self.table.retire(block.slot)
                     continue
                 kept_blocks.append(block)
                 occupied = {obj.offset for obj in survivors}

@@ -7,6 +7,7 @@ from .block import (
     sort_key_most_holes,
     sorted_defrag_candidates,
 )
+from .heap_table import UNMAPPED, HeapTable, LineSegment
 from .large_object_space import LargeObjectSpace, Placement
 from .line_table import (
     FAILED,
@@ -20,6 +21,7 @@ from .line_table import (
     set_kernel_mode,
     state_name,
     use_reference_kernels,
+    validate_kernel_mode,
 )
 from .object_model import (
     ALIGNMENT,
@@ -39,6 +41,9 @@ __all__ = [
     "sorted_defrag_candidates",
     "LargeObjectSpace",
     "Placement",
+    "HeapTable",
+    "LineSegment",
+    "UNMAPPED",
     "FAILED",
     "FREE",
     "LIVE",
@@ -49,6 +54,7 @@ __all__ = [
     "kernel_mode",
     "set_kernel_mode",
     "use_reference_kernels",
+    "validate_kernel_mode",
     "state_name",
     "ALIGNMENT",
     "HEADER_BYTES",

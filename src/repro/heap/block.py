@@ -33,18 +33,22 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..hardware.geometry import Geometry
 from . import line_table
+from .heap_table import HeapTable, LineSegment
 from .line_table import FAILED, FREE, LIVE, LIVE_PINNED, FreeRunSummary
 from .object_model import SimObject
 from .page_supply import HeapPage
 
 
 class Block:
-    """One Immix block and its line mark table."""
+    """One Immix block: a line-segment view into a heap table."""
 
     __slots__ = (
         "virtual_index",
         "geometry",
         "pages",
+        "table",
+        "slot",
+        "n_lines",
         "line_states",
         "failed_lines",
         "objects",
@@ -52,6 +56,7 @@ class Block:
         "allocated_since_gc",
         "mark_conflicts",
         "aborted_evacuations",
+        "_base",
         "_line_gen",
         "_summary",
         "_summary_gen",
@@ -61,7 +66,13 @@ class Block:
         "_extent_gen",
     )
 
-    def __init__(self, virtual_index: int, pages: List[HeapPage], geometry: Geometry) -> None:
+    def __init__(
+        self,
+        virtual_index: int,
+        pages: List[HeapPage],
+        geometry: Geometry,
+        table: Optional[HeapTable] = None,
+    ) -> None:
         if len(pages) != geometry.pages_per_block:
             raise ValueError(
                 f"a block needs {geometry.pages_per_block} pages, got {len(pages)}"
@@ -69,7 +80,16 @@ class Block:
         self.virtual_index = virtual_index
         self.geometry = geometry
         self.pages = pages
-        self.line_states = bytearray(geometry.immix_lines_per_block)
+        # Collectors pass their shared whole-heap table; standalone
+        # blocks (tests, microbenches) get a private single-segment one
+        # so the Block API is identical either way.
+        if table is None:
+            table = HeapTable(geometry)
+        self.table = table
+        self.slot = table.register(self)
+        self._base = table.base(self.slot)
+        self.n_lines = geometry.immix_lines_per_block
+        self.line_states = LineSegment(table, self.slot, self)
         self.failed_lines: Set[int] = set()
         self.objects: List[SimObject] = []
         #: Flagged by defragmentation / dynamic-failure handling.
@@ -92,18 +112,17 @@ class Block:
         self._extent_objs: List[SimObject] = []
         self._extent_starts: List[int] = []
         self._extent_gen = -1
-        for slot, page in enumerate(pages):
-            for offset in page.failed_offsets:
-                self._seed_failed_pcm_line(slot, offset)
+        if line_table.use_reference_kernels():
+            for slot, page in enumerate(pages):
+                for offset in page.failed_offsets:
+                    self._seed_failed_pcm_line(slot, offset)
+        else:
+            self._seed_failed_pages_bulk(pages)
 
     # ------------------------------------------------------------------
     @property
     def virtual_base(self) -> int:
         return self.virtual_index * self.geometry.block
-
-    @property
-    def n_lines(self) -> int:
-        return self.geometry.immix_lines_per_block
 
     def touch_lines(self) -> None:
         """Invalidate the free-run summary after a line-state mutation.
@@ -112,10 +131,41 @@ class Block:
         tests and tooling that poke ``line_states`` directly.
         """
         self._line_gen += 1
+        self.table.touch()
 
     def touch_objects(self) -> None:
         """Invalidate the extent index after an object-list mutation."""
         self._obj_gen += 1
+
+    def _seed_failed_pages_bulk(self, pages: List[HeapPage]) -> None:
+        """Seed every page's failed PCM lines in one pass (fast kernel).
+
+        Identical final state to calling :meth:`_seed_failed_pcm_line`
+        per offset — the seeded set and byte writes are idempotent and
+        order-independent — but with the geometry lookups hoisted and a
+        single cache invalidation, which matters because construction
+        seeds thousands of lines per cell at paper failure rates.
+        """
+        page_size = self.geometry.page
+        pcm_line = self.geometry.pcm_line
+        immix_line = self.geometry.immix_line
+        failed = self.failed_lines
+        lines = self.table.lines
+        marks = self.table.fail_marks
+        base = self._base
+        for page_slot, page in enumerate(pages):
+            offsets = page.failed_offsets
+            if not offsets:
+                continue
+            page_base = page_slot * page_size
+            for offset in offsets:
+                line = (page_base + offset * pcm_line) // immix_line
+                if line not in failed:
+                    failed.add(line)
+                    lines[base + line] = FAILED
+                    marks[base + line] = 1
+        if failed:
+            self.touch_lines()
 
     def _seed_failed_pcm_line(self, page_slot: int, pcm_offset: int) -> Tuple[int, bool]:
         """Mark the Immix line poisoned by a failed PCM line.
@@ -128,7 +178,9 @@ class Block:
         immix_line = byte_offset // self.geometry.immix_line
         newly_failed = immix_line not in self.failed_lines
         self.failed_lines.add(immix_line)
-        self.line_states[immix_line] = FAILED
+        base = self._base
+        self.table.lines[base + immix_line] = FAILED
+        self.table.fail_marks[base + immix_line] = 1
         self.touch_lines()
         return immix_line, newly_failed
 
@@ -205,9 +257,10 @@ class Block:
         """
         if line_table.use_reference_kernels():
             return self._rebuild_line_marks_reference(epoch, keep_old)
-        states = self.line_states
+        states = self.table.lines
+        base = self._base
         n = self.n_lines
-        states[:] = bytes(n)
+        states[base : base + n] = bytes(n)
         line_size = self.geometry.immix_line
         failed = self.failed_lines
         if failed:
@@ -223,6 +276,11 @@ class Block:
         conflicts: List[Tuple[int, int]] = []
         survive = survivors.append
         conflict = conflicts.append
+        # Adjacent live spans merge into one slice-assign: allocation
+        # order tracks offset order within a block, so consecutive
+        # survivors usually touch consecutive lines. Writes are all
+        # LIVE, so batching them cannot change the final table.
+        span_first = span_stop = -1
         for obj in self.objects:
             if obj.mark != epoch and not (keep_old and obj.old):
                 continue
@@ -232,10 +290,18 @@ class Block:
             stop = (offset + obj.size - 1) // line_size + 1
             if obj.pinned:
                 pinned_spans.append((first, stop))
-            elif stop - first == 1:
-                states[first] = 1
+            elif first <= span_stop and span_first <= stop:
+                if first < span_first:
+                    span_first = first
+                if stop > span_stop:
+                    span_stop = stop
             else:
-                states[first:stop] = b"\x01" * (stop - first)
+                if span_first >= 0:
+                    states[base + span_first : base + span_stop] = b"\x01" * (
+                        span_stop - span_first
+                    )
+                span_first = first
+                span_stop = stop
             if failed_sorted is not None and first <= max_failed and stop > min_failed:
                 # A FAILED mark is hardware truth; a survivor
                 # overlapping it (pinned, or an aborted evacuation)
@@ -246,20 +312,26 @@ class Block:
                 while i < n_failed and failed_sorted[i] < stop:
                     conflict((obj.oid, failed_sorted[i]))
                     i += 1
+        if span_first >= 0:
+            states[base + span_first : base + span_stop] = b"\x01" * (
+                span_stop - span_first
+            )
         for first, stop in pinned_spans:
             if stop - first == 1:
-                states[first] = 2
+                states[base + first] = 2
             else:
-                states[first:stop] = b"\x02" * (stop - first)
+                states[base + first : base + stop] = b"\x02" * (stop - first)
         if failed_sorted is not None:
             for line in failed_sorted:
-                states[line] = FAILED
+                states[base + line] = FAILED
         self.mark_conflicts = conflicts
         self.objects = survivors
         self.allocated_since_gc = False
         self.touch_lines()
         self.touch_objects()
-        live_lines = states.count(LIVE) + states.count(LIVE_PINNED)
+        live_lines = states.count(LIVE, base, base + n) + states.count(
+            LIVE_PINNED, base, base + n
+        )
         return live_lines, n
 
     def _rebuild_line_marks_reference(self, epoch: int, keep_old: bool = False) -> Tuple[int, int]:
@@ -352,7 +424,7 @@ class Block:
         obj.los_placement = None
         self.objects.append(obj)
         self.allocated_since_gc = True
-        self.touch_objects()
+        self._obj_gen += 1  # touch_objects(), sans the call overhead
 
     def remove_object(self, obj: SimObject) -> None:
         """Unlink ``obj`` (evacuation, promotion, or cell free)."""

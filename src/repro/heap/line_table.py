@@ -46,11 +46,26 @@ _FREE_MASK_TABLE = bytes(0 if state == FREE else 1 for state in range(256))
 #: Kernel implementations selectable at runtime (see module docstring).
 KERNEL_MODES = ("fast", "reference")
 
+# Validation is deliberately lazy: importing this module must never
+# raise on a bad REPRO_KERNELS value, or every `python -m repro`
+# invocation would die with a bare traceback before the CLI could
+# print a usage message. An unknown value behaves like "fast" until
+# `validate_kernel_mode()` is consulted (the CLI calls it first and
+# exits 2 with usage on failure).
 _kernel_mode = os.environ.get("REPRO_KERNELS", "fast")
-if _kernel_mode not in KERNEL_MODES:
-    raise ValueError(
-        f"REPRO_KERNELS={_kernel_mode!r} is not one of {KERNEL_MODES}"
-    )
+
+
+def validate_kernel_mode() -> str:
+    """Check the active mode, raising ``ValueError`` if it is invalid.
+
+    Entry points call this once, early, and turn the error into a
+    usage message + exit status 2; library code never needs to.
+    """
+    if _kernel_mode not in KERNEL_MODES:
+        raise ValueError(
+            f"REPRO_KERNELS={_kernel_mode!r} is not one of {KERNEL_MODES}"
+        )
+    return _kernel_mode
 
 
 def kernel_mode() -> str:

@@ -28,6 +28,7 @@ from typing import Callable, FrozenSet, List, Optional
 from ..errors import OutOfMemoryError
 from ..faults.accounting import PerfectPageAccountant
 from ..hardware.geometry import Geometry
+from . import line_table
 
 #: Span owners.
 SPAN_FREE = 0
@@ -60,7 +61,7 @@ class HeapPage:
 class _Span:
     """``pages_per_block`` consecutive pages with a single owner."""
 
-    __slots__ = ("index", "pages", "owner", "free")
+    __slots__ = ("index", "pages", "owner", "free", "n_free_perfect")
 
     def __init__(self, index: int, pages: List[HeapPage]) -> None:
         self.index = index
@@ -68,6 +69,10 @@ class _Span:
         self.owner = SPAN_FREE
         #: Pages currently free (not handed to a space user).
         self.free: List[HeapPage] = list(pages)
+        #: Incremental count of perfect pages in ``free``; lets the
+        #: fussy allocator skip whole spans without scanning them.
+        #: Every ``free`` mutation in PageSupply keeps it in step.
+        self.n_free_perfect = sum(1 for page in pages if not page.failed_offsets)
 
     @property
     def fully_free(self) -> bool:
@@ -77,7 +82,7 @@ class _Span:
         return [page for page in self.free if page.is_perfect]
 
     def has_free_perfect(self) -> bool:
-        return any(page.is_perfect for page in self.free)
+        return self.n_free_perfect > 0
 
 
 class PageSupply:
@@ -102,6 +107,12 @@ class PageSupply:
         self._span_of_page = {
             page.index: span for span in self._spans for page in span.pages
         }
+        #: Incremental mirror of ``free_real_pages``: every span.free
+        #: mutation below adjusts it, so the allocator's frequent
+        #: ``available_pages()`` probes cost O(1) instead of a
+        #: generator pass over all spans. ``REPRO_KERNELS=reference``
+        #: recomputes the sum per query as the oracle.
+        self._free_pages = usable
         #: Synthetic borrowed (DRAM) pages currently held by fussy users.
         self._borrowed_held: List[HeapPage] = []
         #: Real pages parked to pay the one-page space penalty of each
@@ -153,6 +164,12 @@ class PageSupply:
 
     @property
     def free_real_pages(self) -> int:
+        if line_table.use_reference_kernels():
+            return sum(len(span.free) for span in self._spans)
+        return self._free_pages
+
+    def recount_free_pages(self) -> int:
+        """The non-incremental sum (invariant checking, reference mode)."""
         return sum(len(span.free) for span in self._spans)
 
     def available_pages(self) -> int:
@@ -191,6 +208,8 @@ class PageSupply:
                 span.owner = SPAN_BLOCKS
                 taken = list(span.free)
                 span.free = []
+                span.n_free_perfect = 0
+                self._free_pages -= len(taken)
                 self.relaxed_pages_taken += len(taken)
                 return taken
         return None
@@ -203,20 +222,24 @@ class PageSupply:
         self.fussy_pages_taken += 1
         # 1. Perfect pages already inside LOS-claimed spans.
         for span in self._spans:
-            if span.owner == SPAN_LOS:
+            if span.owner == SPAN_LOS and span.n_free_perfect:
                 for page in span.free:
-                    if page.is_perfect:
+                    if not page.failed_offsets:
                         span.free.remove(page)
+                        span.n_free_perfect -= 1
+                        self._free_pages -= 1
                         self.accountant.record_perfect_hit()
                         return page
         # 2. Claim the lowest free span that holds a perfect page. Its
         #    imperfect pages become dead weight until the span empties.
         for span in self._spans:
-            if span.owner == SPAN_FREE and span.fully_free and span.has_free_perfect():
+            if span.owner == SPAN_FREE and span.fully_free and span.n_free_perfect:
                 span.owner = SPAN_LOS
                 self.los_span_claims += 1
                 page = span.free_perfect()[0]
                 span.free.remove(page)
+                span.n_free_perfect -= 1
+                self._free_pages -= 1
                 self.accountant.record_perfect_hit()
                 return page
         # 3. Borrow DRAM, parking one real free page as the penalty.
@@ -239,13 +262,17 @@ class PageSupply:
         for span in self._spans:
             if span.owner == SPAN_LOS:
                 for page in span.free:
-                    if not page.is_perfect:
+                    if page.failed_offsets:
                         span.free.remove(page)
+                        self._free_pages -= 1
                         return page
         for span in self._spans:
             if span.free:
                 page = span.free[0]
                 span.free.remove(page)
+                if not page.failed_offsets:
+                    span.n_free_perfect -= 1
+                self._free_pages -= 1
                 if span.owner == SPAN_FREE:
                     span.owner = SPAN_LOS  # broken for parking
                 return page
@@ -294,6 +321,9 @@ class PageSupply:
             return
         span = self._span_of_page[page.index]
         span.free.append(page)
+        if not page.failed_offsets:
+            span.n_free_perfect += 1
+        self._free_pages += 1
         if span.fully_free:
             span.owner = SPAN_FREE
 

@@ -348,6 +348,8 @@ def aggregate(events: Sequence[Dict[str, Any]], top: int = 10) -> Dict[str, Any]
     cache_hits = 0
     cache_misses = 0
     retries = 0
+    result_bytes = 0
+    pickle_bytes = 0
     quarantined: List[Dict[str, Any]] = []
     worker_pids = set()
 
@@ -398,6 +400,8 @@ def aggregate(events: Sequence[Dict[str, Any]], top: int = 10) -> Dict[str, Any]
             record = cell(index)
             record["workload"] = event.get("workload", record["workload"])
             record["wall_s"] = float(event.get("wall_s", 0.0))
+            result_bytes += int(event.get("result_bytes", 0))
+            pickle_bytes += int(event.get("pickle_bytes", 0))
             if index in end_t:
                 phases["collect"] += max(0.0, t - end_t[index])
             if index in dispatch_t:
@@ -458,6 +462,11 @@ def aggregate(events: Sequence[Dict[str, Any]], top: int = 10) -> Dict[str, Any]
         },
         "retries": retries,
         "quarantined": quarantined,
+        "transport": {
+            "result_bytes": result_bytes,
+            "pickle_bytes": pickle_bytes,
+            "saved_bytes": max(0, pickle_bytes - result_bytes),
+        },
         "waste_s": phases["retry_waste"] + phases["retry_wait"],
         "workers": sorted(pid for pid in worker_pids if pid is not None),
         "slowest_cells": [

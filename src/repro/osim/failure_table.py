@@ -38,6 +38,8 @@ class FailureTable:
         self._bitmaps: Dict[int, int] = {}
         self._offsets_cache: Dict[int, FrozenSet[int]] = {}
         self._failed_count = 0
+        self._imperfect_cache: List[int] = []
+        self._imperfect_cache_valid = True
 
     # ------------------------------------------------------------------
     def record_failure(self, page_index: int, line_offset: int) -> bool:
@@ -49,6 +51,8 @@ class FailureTable:
             self._bitmaps[page_index] = new
             self._offsets_cache.pop(page_index, None)
             self._failed_count += 1
+            if old == 0:
+                self._imperfect_cache_valid = False
         return old == 0
 
     def record_global_line(self, global_line: int) -> bool:
@@ -89,7 +93,21 @@ class FailureTable:
         return self.bitmap(page_index) == 0
 
     def imperfect_pages(self) -> List[int]:
-        return sorted(page for page, bits in self._bitmaps.items() if bits)
+        """Sorted imperfect page indices (cached until a page degrades).
+
+        Pages never un-fail, so the sorted list only changes when a
+        perfect page records its first failure; the fast kernel resorts
+        only then instead of on every query. Callers get a copy either
+        way — mutating the result cannot poison the cache.
+        """
+        if line_table.use_reference_kernels():
+            return sorted(page for page, bits in self._bitmaps.items() if bits)
+        if not self._imperfect_cache_valid:
+            self._imperfect_cache = sorted(
+                page for page, bits in self._bitmaps.items() if bits
+            )
+            self._imperfect_cache_valid = True
+        return list(self._imperfect_cache)
 
     def failed_line_count(self) -> int:
         if line_table.use_reference_kernels():
@@ -112,6 +130,7 @@ class FailureTable:
             table._check(page, 0)
             table._bitmaps[page] = bits
             table._failed_count += _popcount(bits)
+        table._imperfect_cache_valid = False
         return table
 
     @classmethod

@@ -153,6 +153,31 @@ class PagePools:
             return
         self._imperfect.append(index)
 
+    def note_pages_degraded(self, indices: List[int]) -> None:
+        """Bulk :meth:`note_page_degraded`: one pool rebuild, not one
+        O(n) ``deque.remove`` per page.
+
+        Absorbing an aged module's static failures degrades thousands
+        of pages against a full perfect pool, which is quadratic the
+        one-at-a-time way. Final pool contents and order are identical:
+        filtering preserves the perfect pool's relative order exactly
+        as repeated ``remove`` calls would, and moved pages append to
+        the imperfect pool in call order.
+        """
+        perfect = set(self._perfect)
+        moved: List[int] = []
+        seen: set = set()
+        for index in indices:
+            if index in seen or index in self._allocated or index not in perfect:
+                continue
+            seen.add(index)
+            moved.append(index)
+        if not moved:
+            return
+        dropped = set(moved)
+        self._perfect = deque(i for i in self._perfect if i not in dropped)
+        self._imperfect.extend(moved)
+
     def imperfect_page_indices(self) -> List[int]:
         return sorted(self._imperfect)
 

@@ -30,6 +30,7 @@ import multiprocessing
 import os
 import random
 import signal
+import struct
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -54,6 +55,7 @@ from ..obs.profile import spool_path as _profile_spool_path
 from ..runtime.time_model import CostModel
 from .chaos import ChaosConfig, maybe_injure
 from .machine import RunConfig, RunResult, run_benchmark
+from .transport import decode_attempt, encode_attempt, is_frame, use_spool_transport
 
 #: Parent poll granularity while attempts are in flight (real seconds).
 POLL_INTERVAL_S = 0.02
@@ -239,31 +241,37 @@ def _attempt_worker(
             )
         else:
             result = run_benchmark(config, cost_model)
-        payload = {
-            "ok": True,
-            "result": result_to_dict(result),
-            "wall_s": time.perf_counter() - started,
-        }
+        wall_s = time.perf_counter() - started
+        if use_spool_transport():
+            # Successful attempts spool the compact binary frame; the
+            # parent sniffs the magic. Failure records stay JSON — they
+            # carry free-form error text, not a RunResult.
+            spooled = encode_attempt(result, wall_s)
+        else:
+            spooled = json.dumps(
+                {"ok": True, "result": result_to_dict(result), "wall_s": wall_s}
+            ).encode()
+        ok = True
     except BaseException as exc:  # spooled, classified by the parent
-        payload = {
-            "ok": False,
-            "error": f"{type(exc).__name__}: {exc}",
-            "wall_s": time.perf_counter() - started,
-        }
+        wall_s = time.perf_counter() - started
+        spooled = json.dumps(
+            {"ok": False, "error": f"{type(exc).__name__}: {exc}", "wall_s": wall_s}
+        ).encode()
+        ok = False
     worker_emit(
         ledger_path,
         ATTEMPT_END,
         cell=cell_index,
         attempt=attempt,
-        ok=bool(payload["ok"]),
-        wall_s=payload["wall_s"],
+        ok=ok,
+        wall_s=wall_s,
         workload=config.workload,
     )
     directory = os.path.dirname(spool_path)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(spooled)
         os.replace(tmp, spool_path)
     except BaseException:
         try:
@@ -385,16 +393,34 @@ def run_cells_fault_tolerant(
         """Attempt's process has exited; classify the outcome."""
         exitcode = attempt.process.exitcode
         payload = None
+        frame = None
+        result_bytes = 0
         try:
-            with open(attempt.spool, "r") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            payload = None  # died before (or while) spooling
+            with open(attempt.spool, "rb") as handle:
+                data = handle.read()
+            result_bytes = len(data)
+            if is_frame(data):
+                frame = decode_attempt(data)
+            else:
+                payload = json.loads(data.decode())
+        except (OSError, ValueError, struct.error):
+            payload = frame = None  # died before (or while) spooling
         finally:
             try:
                 os.unlink(attempt.spool)
             except OSError:
                 pass
+        if frame is not None:
+            result, wall = frame
+            completions.append((attempt.index, result, wall))
+            _emit(
+                COLLECT,
+                cell=attempt.index,
+                workload=attempt.config.workload,
+                wall_s=wall,
+                result_bytes=result_bytes,
+            )
+            return
         if payload is not None and payload.get("ok"):
             from .cache import result_from_dict
 
@@ -407,6 +433,7 @@ def run_cells_fault_tolerant(
                 cell=attempt.index,
                 workload=attempt.config.workload,
                 wall_s=wall,
+                result_bytes=result_bytes,
             )
             return
         if payload is not None:

@@ -20,6 +20,7 @@ divergence.
 
 from __future__ import annotations
 
+import pickle
 import random
 import sys
 from time import perf_counter
@@ -29,12 +30,14 @@ from ..faults.generator import FailureModel
 from ..hardware.geometry import Geometry
 from ..heap import line_table
 from ..heap.block import Block, sorted_defrag_candidates
+from ..heap.heap_table import HeapTable
 from ..heap.line_table import FAILED, FREE, LIVE, LIVE_PINNED
 from ..heap.object_model import ObjectFactory
 from ..heap.page_supply import HeapPage
 from ..osim.failure_table import FailureTable
 from .cache import result_to_dict
 from .machine import RunConfig, min_heap_bytes, run_benchmark
+from .transport import decode_result, encode_result
 
 SCHEMA = "repro-kernel-bench/v1"
 
@@ -94,6 +97,8 @@ def build_synthetic_block(
     pinned_weight: float = 0.05,
     failed_pcm_lines: int = 6,
     object_sizes: Sequence[int] = SMALL_OBJECT_SIZES,
+    table: Optional[HeapTable] = None,
+    virtual_index: int = 0,
 ) -> Block:
     """A deterministic, realistically fragmented block for sweep benches.
 
@@ -113,7 +118,7 @@ def build_synthetic_block(
         HeapPage(index, frozenset(failed_by_page.get(index, ())))
         for index in range(geometry.pages_per_block)
     ]
-    block = Block(0, pages, geometry)
+    block = Block(virtual_index, pages, geometry, table=table)
     factory = ObjectFactory()
     for start, length in list(block.free_runs()):
         cursor = start * geometry.immix_line
@@ -370,9 +375,14 @@ def _bench_kernels(iterations: int, seed: int) -> List[dict]:
         )
     )
 
-    # Defrag candidate ordering over many blocks (key computed once per
-    # block from the cached summary vs. recomputed per block reference).
-    blocks = [build_synthetic_block(geometry, seed + i) for i in range(16)]
+    # Defrag candidate ordering over many table-backed blocks sharing
+    # one heap table (key computed once per block from the bounded
+    # C-speed segment counts vs. recomputed per block reference).
+    defrag_table = HeapTable(geometry)
+    blocks = [
+        build_synthetic_block(geometry, seed + i, table=defrag_table, virtual_index=i)
+        for i in range(16)
+    ]
     identical = [b.virtual_index for b in sorted_defrag_candidates(blocks)] == [
         b.virtual_index
         for b in _in_mode("reference", lambda: sorted_defrag_candidates(blocks))
@@ -386,6 +396,113 @@ def _bench_kernels(iterations: int, seed: int) -> List[dict]:
             identical,
         )
     )
+
+    # Whole-heap scan: many blocks share one HeapTable, and a single
+    # C-speed pass over the flat arrays replaces the per-slot Python
+    # loops the reference twins retain. One mid-heap block is retired so
+    # the scans must step over an UNMAPPED hole; touch() first so the
+    # timed path is the real count, not the generation-cache hit.
+    heap_table = HeapTable(geometry)
+    heap_blocks = [
+        build_synthetic_block(geometry, seed + i, table=heap_table, virtual_index=i)
+        for i in range(16)
+    ]
+    heap_table.retire(heap_blocks.pop(7).slot)
+
+    def heap_counts():
+        heap_table.touch()
+        return heap_table.free_line_count(), heap_table.failed_line_count()
+
+    identical = heap_counts() == (
+        heap_table.free_line_count_reference(),
+        heap_table.failed_line_count_reference(),
+    )
+    results.append(
+        _kernel_entry(
+            "heap_table line counts (heap-scan)",
+            heap_counts,
+            lambda: _in_mode("reference", heap_counts),
+            max(1, iterations // 2),
+            identical,
+        )
+    )
+
+    identical = (
+        heap_table.slots_with_free_lines()
+        == heap_table.slots_with_free_lines_reference()
+    )
+    results.append(
+        _kernel_entry(
+            "heap_table.slots_with_free_lines",
+            heap_table.slots_with_free_lines,
+            lambda: _in_mode("reference", heap_table.slots_with_free_lines),
+            max(1, iterations // 2),
+            identical,
+        )
+    )
+
+    # Whole-heap sweep: rebuild every block of a shared table back to
+    # back (the collector's sweep loop), fast vs reference, with the
+    # final flat arrays compared across the two heaps as well.
+    def build_heap(n_blocks: int) -> Tuple[HeapTable, List[Block]]:
+        shared = HeapTable(geometry)
+        return shared, [
+            build_synthetic_block(geometry, seed + i, table=shared, virtual_index=i)
+            for i in range(n_blocks)
+        ]
+
+    fast_table, fast_heap = build_heap(8)
+    reference_table, reference_heap = build_heap(8)
+    identical = [
+        sweep_state(fb, "fast") for fb in fast_heap
+    ] == [sweep_state(rb, "reference") for rb in reference_heap] and bytes(
+        fast_table.lines
+    ) == bytes(reference_table.lines)
+    results.append(
+        _kernel_entry(
+            "heap sweep (shared table, 8 blocks)",
+            lambda: [fb.rebuild_line_marks(_EPOCH) for fb in fast_heap],
+            lambda: _in_mode(
+                "reference",
+                lambda: [rb.rebuild_line_marks(_EPOCH) for rb in reference_heap],
+            ),
+            max(1, iterations // 32),
+            identical,
+        )
+    )
+
+    # Result transport codec: one spool-frame round trip vs one pickle
+    # round trip of the same RunResult. Identity means both transports
+    # reconstruct the same serialized payload — the bit-identity the
+    # regression suite holds REPRO_RESULT_TRANSPORT to.
+    codec_result = run_benchmark(
+        RunConfig(
+            workload="luindex",
+            heap_multiplier=2.0,
+            failure_model=FailureModel(rate=0.25),
+            seed=seed,
+            scale=0.05,
+        )
+    )
+    frame = encode_result(codec_result)
+    pickled = pickle.dumps(codec_result, protocol=pickle.HIGHEST_PROTOCOL)
+    identical = (
+        result_to_dict(decode_result(frame))
+        == result_to_dict(pickle.loads(pickled))
+        == result_to_dict(codec_result)
+    )
+    codec_entry = _kernel_entry(
+        "result codec (spool frame vs pickle)",
+        lambda: decode_result(encode_result(codec_result)),
+        lambda: pickle.loads(
+            pickle.dumps(codec_result, protocol=pickle.HIGHEST_PROTOCOL)
+        ),
+        max(1, iterations // 2),
+        identical,
+    )
+    codec_entry["frame_bytes"] = len(frame)
+    codec_entry["pickle_bytes"] = len(pickled)
+    results.append(codec_entry)
     return results
 
 
@@ -487,6 +604,19 @@ def run_microbench(
         "seed": seed,
         "kernels": bench_kernels(iterations=iterations, seed=seed),
         "end_to_end": None,
+        # Context for the end_to_end block: the per-block kernel
+        # generation (PR 8 tip, f75a651) measured on the same host that
+        # produced the committed artifact, best of 3 on the default
+        # grid. Absolute seconds are host-specific; the speedup ratios
+        # are what CI holds floors on.
+        "baseline": {
+            "label": "per-block kernels (PR 8, f75a651)",
+            "fast_seconds": 0.2163,
+            "reference_seconds": 0.3152,
+            "speedup": 1.457,
+            "grid": {"workloads": ["luindex", "antlr"], "rates": [0.0, 0.1],
+                     "scale": 0.2, "seed": 0},
+        },
     }
     if end_to_end:
         payload["end_to_end"] = bench_end_to_end(

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..obs.ledger import (
     ATTEMPT_END,
@@ -50,6 +51,7 @@ from .cache import ResultCache
 from .chaos import ChaosConfig
 from .ftexec import FaultToleranceReport, RetryPolicy, run_cells_fault_tolerant
 from .machine import RunConfig, RunResult, run_benchmark
+from .transport import Handle, SpoolReader, SpoolWriter, pickled_size, use_spool_transport
 
 #: Sweep-artifact schema identifier (see EXPERIMENTS.md). Version 2
 #: added the fault-tolerance block and the deterministic ``results``
@@ -98,6 +100,12 @@ class SweepStats:
     wall_s: float = 0.0
     #: Sum of per-cell execution time (the work the pool actually did).
     busy_s: float = 0.0
+    #: Bytes that actually crossed the worker boundary for results
+    #: (spool frames or pickles; 0 for inline and cached cells).
+    result_bytes: int = 0
+    #: What the pickle transport would have moved for the same results
+    #: (accumulated only when the spool transport is active).
+    pickle_bytes: int = 0
     timings: List[CellTiming] = field(default_factory=list)
     #: What the fault-tolerant executor survived (zeros on the plain
     #: pool path, which aborts on the first worker death instead).
@@ -119,6 +127,8 @@ class SweepStats:
         self.cache_misses += other.cache_misses
         self.wall_s += other.wall_s
         self.busy_s += other.busy_s
+        self.result_bytes += other.result_bytes
+        self.pickle_bytes += other.pickle_bytes
         self.fault_tolerance.merge(other.fault_tolerance)
         for timing in other.timings:
             self.timings.append(
@@ -141,6 +151,10 @@ class SweepStats:
             "wall_s": self.wall_s,
             "busy_s": self.busy_s,
             "utilization": self.utilization,
+            "transport": {
+                "result_bytes": self.result_bytes,
+                "pickle_bytes": self.pickle_bytes,
+            },
             "fault_tolerance": self.fault_tolerance.to_dict(),
             "cell_timings": [timing.to_dict() for timing in self.timings],
         }
@@ -152,20 +166,28 @@ class SweepStats:
 _WORKER_COST_MODEL: CostModel = DEFAULT_COST_MODEL
 _WORKER_LEDGER_PATH: Optional[str] = None
 _WORKER_PROFILE_DIR: Optional[str] = None
+_WORKER_SPOOL: Optional[SpoolWriter] = None
 
 
 def _init_worker(
     cost_model: CostModel,
     ledger_path: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    spool_dir: Optional[str] = None,
 ) -> None:
     global _WORKER_COST_MODEL, _WORKER_LEDGER_PATH, _WORKER_PROFILE_DIR
+    global _WORKER_SPOOL
     _WORKER_COST_MODEL = cost_model
     _WORKER_LEDGER_PATH = ledger_path
     _WORKER_PROFILE_DIR = profile_dir
+    if _WORKER_SPOOL is not None:
+        _WORKER_SPOOL.close()
+    _WORKER_SPOOL = SpoolWriter(spool_dir) if spool_dir is not None else None
 
 
-def _run_cell(item: Tuple[int, RunConfig]) -> Tuple[int, RunResult, float]:
+def _run_cell(
+    item: Tuple[int, RunConfig]
+) -> Tuple[int, Union[RunResult, Handle], float]:
     index, config = item
     path = _WORKER_LEDGER_PATH
     worker_emit(
@@ -188,6 +210,10 @@ def _run_cell(item: Tuple[int, RunConfig]) -> Tuple[int, RunResult, float]:
         wall_s=wall,
         workload=config.workload,
     )
+    if _WORKER_SPOOL is not None:
+        # Zero-pickle transport: the frame goes to this worker's spool
+        # file; only the (pid, offset, length) handle rides the pipe.
+        return index, _WORKER_SPOOL.append(result), wall
     return index, result, wall
 
 
@@ -277,11 +303,19 @@ def run_grid(
     completed = 0
 
     def _complete(
-        index: int, result: RunResult, wall: float, collect: bool = True
+        index: int,
+        result: RunResult,
+        wall: float,
+        collect: bool = True,
+        result_bytes: int = 0,
+        pickle_bytes: Optional[int] = None,
     ) -> None:
         nonlocal completed
         results[index] = result
         stats.busy_s += wall
+        stats.result_bytes += result_bytes
+        if pickle_bytes is not None:
+            stats.pickle_bytes += pickle_bytes
         stats.timings.append(
             CellTiming(
                 index=index,
@@ -293,11 +327,14 @@ def run_grid(
             )
         )
         if collect:
+            extra = {} if pickle_bytes is None else {"pickle_bytes": pickle_bytes}
             recorder.emit(
                 COLLECT,
                 cell=index,
                 workload=result.config.workload,
                 wall_s=wall,
+                result_bytes=result_bytes,
+                **extra,
             )
         if cache is not None:
             store_start = time.perf_counter()
@@ -356,16 +393,39 @@ def run_grid(
             # including the pool's own startup, hence before Pool().
             for index, config in pending:
                 recorder.emit(DISPATCH, cell=index, workload=config.workload)
+            spooling = use_spool_transport()
+            spool_tmp = (
+                tempfile.TemporaryDirectory(prefix="repro-spool-")
+                if spooling
+                else None
+            )
+            spool_dir = spool_tmp.name if spool_tmp is not None else None
+            reader = SpoolReader(spool_dir) if spool_dir is not None else None
             pool = context.Pool(
                 workers,
                 initializer=_init_worker,
-                initargs=(cost_model, recorder.path, profile_dir),
+                initargs=(cost_model, recorder.path, profile_dir, spool_dir),
             )
             try:
-                for index, result, wall in pool.imap_unordered(
+                for index, payload, wall in pool.imap_unordered(
                     _run_cell, pending
                 ):
-                    _complete(index, result, wall)
+                    if reader is not None:
+                        # payload is a (pid, offset, length) handle: the
+                        # frame crossed via the spool file, the pipe
+                        # carried only the handle tuple.
+                        result = reader.read(payload)
+                        _complete(
+                            index,
+                            result,
+                            wall,
+                            result_bytes=payload[2],
+                            pickle_bytes=pickled_size(result),
+                        )
+                    else:
+                        _complete(
+                            index, payload, wall, result_bytes=pickled_size(payload)
+                        )
             finally:
                 # Same semantics as `with Pool(...)` (__exit__ calls
                 # terminate), but timed: winding the pool down is real
@@ -373,6 +433,10 @@ def run_grid(
                 teardown_start = time.perf_counter()
                 pool.terminate()
                 pool.join()
+                if reader is not None:
+                    reader.close()
+                if spool_tmp is not None:
+                    spool_tmp.cleanup()
                 teardown_s = time.perf_counter() - teardown_start
 
     stats.timings.sort(key=lambda timing: timing.index)

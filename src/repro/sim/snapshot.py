@@ -241,6 +241,21 @@ def machine_digest(vm) -> str:
     """
     pcm = vm.injector.pcm
     supply = vm.supply
+    table = getattr(vm.collector, "table", None)
+    heap_table = None
+    if table is not None:
+        # The structure-of-arrays heap state, digested wholesale: the
+        # flat line/failure arrays are the ground truth every kernel
+        # reads, so a restore that perturbed a single byte (or the slot
+        # bookkeeping around them) flips this digest.
+        heap_table = {
+            "lines": hashlib.sha256(bytes(table.lines)).hexdigest(),
+            "fail_marks": hashlib.sha256(bytes(table.fail_marks)).hexdigest(),
+            "active_slots": table.active_slots(),
+            "free_slots": list(table._free_slots),
+            "free_lines": table.free_line_count(),
+            "failed_lines": table.failed_line_count(),
+        }
     state = {
         "stats": vm.stats.snapshot(),
         "roots": sorted(vm._roots.keys()),
@@ -274,6 +289,7 @@ def machine_digest(vm) -> str:
             "borrowed": supply.accountant.borrowed,
             "demand": supply.accountant.total_perfect_demand,
         },
+        "heap_table": heap_table,
         "census": vm.heap_census(),
     }
     rendering = json.dumps(state, sort_keys=True, default=repr)

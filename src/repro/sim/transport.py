@@ -1,0 +1,308 @@
+"""Zero-pickle result transport between sweep workers and the parent.
+
+``multiprocessing.Pool.imap_unordered`` pickles every return value
+through a pipe. A :class:`~repro.sim.machine.RunResult` pickles to a
+deep object graph — config dataclass, failure model, stats dict, phase
+breakdown — and at sweep scale that serialization tax is pure harness
+overhead. This module replaces it with a **spool-file transport**:
+
+* each worker appends compact, fixed-schema frames to its own
+  append-only spool file (``spool-<pid>.bin``; no locks, no renames —
+  one writer per file);
+* the pool then carries only ``(index, handle, wall)`` tuples, where a
+  handle is three integers naming the frame (pid, offset, length);
+* the parent reads frames back by ``seek``/``read`` and decodes.
+
+The frame codec is deliberately not pickle: a magic tag, a version
+byte, the fixed numeric fields packed with :mod:`struct`, then three
+length-prefixed JSON sections (config, stats, extras). Decoding a
+frame yields a RunResult **bit-identical** to what the pickle path
+would have delivered — the regression suite and the microbench
+``result_codec`` entry both enforce that, the same contract
+``REPRO_KERNELS`` holds for the heap kernels.
+
+``REPRO_RESULT_TRANSPORT`` selects the mode: ``spool`` (default) or
+``pickle`` (the original pool behaviour, kept as the oracle). Like
+``REPRO_KERNELS``, the value is validated lazily — the CLI turns a bad
+value into exit 2 with usage instead of an import-time traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+from typing import Dict, Optional, Tuple
+
+from .machine import RunConfig, RunResult
+
+#: Frame tag: "Repro Result Transport", format 1.
+MAGIC = b"RRT1"
+
+#: Recognised ``REPRO_RESULT_TRANSPORT`` values.
+TRANSPORT_MODES = ("spool", "pickle")
+
+_transport_mode = os.environ.get("REPRO_RESULT_TRANSPORT", "spool")
+
+
+def transport_mode() -> str:
+    """The active transport mode string (unvalidated; see below)."""
+    return _transport_mode
+
+
+def set_transport_mode(mode: str) -> str:
+    """Switch modes at runtime; returns the previous mode.
+
+    For tests and the microbench, which compare both transports in one
+    process.
+    """
+    global _transport_mode
+    if mode not in TRANSPORT_MODES:
+        raise ValueError(
+            f"unknown transport mode {mode!r}; choose from {TRANSPORT_MODES}"
+        )
+    previous = _transport_mode
+    _transport_mode = mode
+    return previous
+
+
+def use_spool_transport() -> bool:
+    """True unless the pickle oracle was explicitly selected.
+
+    An unrecognised environment value behaves like the default until
+    :func:`validate_transport_mode` is consulted — entry points call
+    that early and report usage instead of crashing mid-import.
+    """
+    return _transport_mode != "pickle"
+
+
+def validate_transport_mode() -> str:
+    """Return the active mode, or raise ``ValueError`` if unrecognised."""
+    if _transport_mode not in TRANSPORT_MODES:
+        raise ValueError(
+            f"REPRO_RESULT_TRANSPORT={_transport_mode!r} is not one of "
+            f"{TRANSPORT_MODES}"
+        )
+    return _transport_mode
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+#: Fixed numeric fields, in schema order. ``<`` pins little-endian so a
+#: spool written on one host decodes anywhere; doubles pass through
+#: bit-exactly (no text round-trip).
+_FIXED = struct.Struct("<BBdddqqqq")
+_LEN = struct.Struct("<I")
+_VERSION = 1
+
+
+def _config_record(config: RunConfig) -> dict:
+    data = dataclasses.asdict(config)
+    return data
+
+
+def encode_result(result: RunResult) -> bytes:
+    """One RunResult as a self-delimiting binary frame."""
+    config = json.dumps(
+        _config_record(result.config), sort_keys=True, separators=(",", ":")
+    ).encode()
+    stats = json.dumps(
+        result.stats, sort_keys=True, separators=(",", ":")
+    ).encode()
+    extras = json.dumps(
+        {
+            "failure_note": result.failure_note,
+            "phase_breakdown": result.phase_breakdown,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    head = _FIXED.pack(
+        _VERSION,
+        1 if result.completed else 0,
+        result.time_units,
+        result.time_ms,
+        result.full_gc_pause_ms,
+        result.heap_bytes,
+        result.min_heap_bytes,
+        result.perfect_page_demand,
+        result.borrowed_pages,
+    )
+    return b"".join(
+        (
+            MAGIC,
+            head,
+            _LEN.pack(len(config)),
+            config,
+            _LEN.pack(len(stats)),
+            stats,
+            _LEN.pack(len(extras)),
+            extras,
+        )
+    )
+
+
+def decode_result(data: bytes) -> RunResult:
+    """Inverse of :func:`encode_result`; validates magic and version."""
+    if data[:4] != MAGIC:
+        raise ValueError("not a result frame (bad magic)")
+    (
+        version,
+        completed,
+        time_units,
+        time_ms,
+        full_gc_pause_ms,
+        heap_bytes,
+        min_heap_bytes,
+        perfect_page_demand,
+        borrowed_pages,
+    ) = _FIXED.unpack_from(data, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported result frame version {version}")
+    cursor = 4 + _FIXED.size
+    sections = []
+    for _ in range(3):
+        (length,) = _LEN.unpack_from(data, cursor)
+        cursor += _LEN.size
+        sections.append(data[cursor : cursor + length])
+        if len(sections[-1]) != length:
+            raise ValueError("truncated result frame")
+        cursor += length
+    config_data, stats_data, extras_data = sections
+    from .cache import config_from_dict  # local: cache imports machine too
+
+    config = config_from_dict(json.loads(config_data.decode()))
+    extras = json.loads(extras_data.decode())
+    return RunResult(
+        config=config,
+        completed=bool(completed),
+        time_units=time_units,
+        time_ms=time_ms,
+        stats=json.loads(stats_data.decode()),
+        heap_bytes=heap_bytes,
+        min_heap_bytes=min_heap_bytes,
+        perfect_page_demand=perfect_page_demand,
+        borrowed_pages=borrowed_pages,
+        full_gc_pause_ms=full_gc_pause_ms,
+        failure_note=extras["failure_note"],
+        phase_breakdown=extras["phase_breakdown"],
+    )
+
+
+_WALL = struct.Struct("<d")
+
+
+def is_frame(data: bytes) -> bool:
+    """Whether a spooled attempt payload is binary (vs legacy JSON)."""
+    return data[:4] == MAGIC
+
+
+def encode_attempt(result: RunResult, wall_s: float) -> bytes:
+    """A fault-tolerant-executor attempt record: frame + wall clock."""
+    return encode_result(result) + _WALL.pack(wall_s)
+
+
+def decode_attempt(data: bytes) -> Tuple[RunResult, float]:
+    """Inverse of :func:`encode_attempt`."""
+    if len(data) <= _WALL.size:
+        raise ValueError("attempt record too short")
+    (wall_s,) = _WALL.unpack_from(data, len(data) - _WALL.size)
+    return decode_result(data[: -_WALL.size]), wall_s
+
+
+def pickled_size(result: RunResult) -> int:
+    """Bytes the pickle transport would have moved for this result.
+
+    The parent-side accounting hook behind the ledger's
+    ``pickle_bytes`` field and ``repro report``'s transport line; the
+    spool path never pickles results for *transport*, only (optionally)
+    for this comparison.
+    """
+    import pickle
+
+    return len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ----------------------------------------------------------------------
+# Spool files
+# ----------------------------------------------------------------------
+#: A frame's address within a spool directory: (pid, offset, length).
+Handle = Tuple[int, int, int]
+
+
+class SpoolWriter:
+    """Append-only result spool for one worker process.
+
+    One writer per file (the file is named for this process), so
+    appends need no locking; each :meth:`append` flushes before
+    returning its handle, making the frame durable-enough for the
+    parent — which only ever reads a handle *after* receiving it
+    through the pool, strictly ordered after the flush.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.pid = os.getpid()
+        self.path = os.path.join(directory, f"spool-{self.pid}.bin")
+        self._file = None
+        self.frames = 0
+        self.bytes_written = 0
+
+    def append(self, result: RunResult) -> Handle:
+        if self._file is None:
+            self._file = open(self.path, "ab")
+        frame = encode_result(result)
+        offset = self._file.tell()
+        self._file.write(frame)
+        self._file.flush()
+        self.frames += 1
+        self.bytes_written += len(frame)
+        return (self.pid, offset, len(frame))
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class SpoolReader:
+    """Parent-side frame reader over a spool directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._files: Dict[int, object] = {}
+        self.frames = 0
+        self.bytes_read = 0
+
+    def read(self, handle: Handle) -> RunResult:
+        pid, offset, length = handle
+        handle_file = self._files.get(pid)
+        if handle_file is None:
+            handle_file = open(
+                os.path.join(self.directory, f"spool-{pid}.bin"), "rb"
+            )
+            self._files[pid] = handle_file
+        handle_file.seek(offset)
+        frame = handle_file.read(length)
+        if len(frame) != length:
+            raise ValueError(
+                f"spool frame truncated: wanted {length} bytes at "
+                f"{offset} of spool-{pid}.bin, got {len(frame)}"
+            )
+        self.frames += 1
+        self.bytes_read += length
+        return decode_result(frame)
+
+    def close(self) -> None:
+        for handle_file in self._files.values():
+            handle_file.close()
+        self._files.clear()
+
+    def __enter__(self) -> "SpoolReader":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -112,6 +112,76 @@ class TestCapturePurity:
         assert machine_digest(vm) == before
 
 
+def mid_run_machine(seed=0, rate=0.10, steps=5):
+    from repro.runtime.vm import VirtualMachine, VmConfig
+    from repro.sim.machine import min_heap_bytes
+    from repro.workloads.driver import TraceDriver
+
+    config = tiny_config(seed=seed, rate=rate)
+    heap = int(min_heap_bytes(config) * config.heap_multiplier)
+    vm = VirtualMachine(
+        VmConfig(
+            heap_bytes=heap,
+            failure_model=config.failure_model,
+            seed=config.seed,
+        )
+    )
+    driver = TraceDriver(config.spec(), config.seed)
+    driver.begin()
+    for _ in range(steps):
+        driver.step(vm)
+    return vm, driver
+
+
+class TestSoaHeapState:
+    """The whole-heap SoA arrays through capture/digest/restore."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2),
+        rate=st.sampled_from([0.0, 0.25]),
+        steps=st.integers(min_value=2, max_value=7),
+    )
+    def test_restore_preserves_heap_table_exactly(self, seed, rate, steps):
+        vm, driver = mid_run_machine(seed=seed, rate=rate, steps=steps)
+        snapshot = MachineSnapshot.capture((vm, driver), kind="bench")
+        restored_vm, _ = snapshot.restore()
+        table = vm.collector.table
+        clone = restored_vm.collector.table
+        assert bytes(clone.lines) == bytes(table.lines)
+        assert bytes(clone.fail_marks) == bytes(table.fail_marks)
+        assert clone.active_slots() == table.active_slots()
+        assert clone._free_slots == table._free_slots
+        assert machine_digest(restored_vm) == machine_digest(vm)
+
+    def test_restore_resolders_segment_sharing(self):
+        # Pickle must keep every block's view aimed at the one shared
+        # table — a copy per block would silently fork the heap state.
+        vm, _ = mid_run_machine()
+        restored_vm, _ = MachineSnapshot.capture((vm, None)).restore()
+        table = restored_vm.collector.table
+        for block in restored_vm.collector.blocks:
+            assert block.table is table
+            assert block.line_states.table is table
+            assert table.owners[block.slot] is block
+
+    def test_digest_covers_soa_arrays(self):
+        vm, _ = mid_run_machine()
+        table = vm.collector.table
+        before = machine_digest(vm)
+        slot = table.active_slots()[0]
+        base = table.base(slot)
+        original = table.lines[base]
+        table.lines[base] = (original + 1) % 4
+        table.touch()
+        try:
+            assert machine_digest(vm) != before
+        finally:
+            table.lines[base] = original
+            table.touch()
+        assert machine_digest(vm) == before
+
+
 class TestResumeBitIdentity:
     @settings(max_examples=6, deadline=None)
     @given(

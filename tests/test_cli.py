@@ -524,6 +524,17 @@ class TestReportCommand:
         # measured wall clock on a sweep that executes its cells.
         assert payload["coverage"] >= 0.95
 
+    def test_report_shows_transport_savings(self, capsys, tmp_path):
+        # A pooled sweep ships results as spool frames; the report
+        # shows the bytes moved and what pickling would have cost.
+        ledger = self.recorded_sweep(tmp_path, "--jobs", "2")
+        capsys.readouterr()
+        assert main(["report", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "transport" in out
+        assert "KiB moved" in out
+        assert "pickle would have moved" in out
+
     def test_report_merges_profiles(self, capsys, tmp_path):
         ledger = self.recorded_sweep(tmp_path, "--profile-cells")
         capsys.readouterr()
