@@ -143,6 +143,7 @@ def _register_figures() -> None:
             "fig10": lambda r, s: [ex.figure10(r, scale=s)],
             "pauses": lambda r, s: [ex.section42_pauses(r, scale=s)],
             "headline": lambda r, s: [ex.headline(r, scale=s)],
+            "policies": lambda r, s: [ex.policy_comparison(r, scale=s)],
         }
     )
 
@@ -221,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--line", type=int, default=256, choices=[64, 128, 256])
     sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
     sweep.add_argument("--scale", type=float, default=0.35)
+    _add_policy_arguments(sweep)
     sweep.add_argument(
         "--out",
         metavar="PATH",
@@ -339,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=0)
+    _add_policy_arguments(bench)
     bench.add_argument(
         "--verify-heap",
         default=None,
@@ -387,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--scale", type=float, default=0.35)
     trace.add_argument("--seed", type=int, default=0)
+    _add_policy_arguments(trace)
     trace.add_argument(
         "--wear",
         type=float,
@@ -525,6 +529,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list workloads")
     return parser
+
+
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    """The three policy seams (see repro.policies); defaults = paper."""
+    from .policies import PLACEMENT_POLICIES, POOL_POLICIES, WEAR_POLICIES
+
+    parser.add_argument(
+        "--wear-policy",
+        default="none",
+        choices=sorted(WEAR_POLICIES),
+        help="hardware wear-leveling policy (default: %(default)s, "
+        "the paper's design)",
+    )
+    parser.add_argument(
+        "--pool-policy",
+        default="paper",
+        choices=sorted(POOL_POLICIES),
+        help="OS page-pool supply/migration policy (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--placement-policy",
+        default="paper",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="runtime large-object placement policy (default: %(default)s)",
+    )
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -753,6 +782,9 @@ _SWEEP_GRID_FLAGS = (
     ("--line", "line", 256),
     ("--seeds", "seeds", [0]),
     ("--scale", "scale", 0.35),
+    ("--wear-policy", "wear_policy", "none"),
+    ("--pool-policy", "pool_policy", "paper"),
+    ("--placement-policy", "placement_policy", "paper"),
 )
 
 
@@ -944,6 +976,9 @@ def cmd_sweep(args) -> int:
                 immix_line=args.line,
                 seed=seed,
                 scale=args.scale,
+                wear_policy=args.wear_policy,
+                pool_policy=args.pool_policy,
+                placement_policy=args.placement_policy,
             )
             for name in names
             for rate in args.rates
@@ -1204,6 +1239,9 @@ def cmd_bench(args) -> int:
             arraylets=args.arraylets,
             seed=args.seed,
             scale=args.scale,
+            wear_policy=args.wear_policy,
+            pool_policy=args.pool_policy,
+            placement_policy=args.placement_policy,
         )
         result = run_benchmark(
             config, verify=args.verify_heap, tracer=tracer, checkpoint=checkpoint
@@ -1274,6 +1312,9 @@ def cmd_trace(args) -> int:
         immix_line=args.line,
         seed=args.seed,
         scale=args.scale,
+        wear_policy=args.wear_policy,
+        pool_policy=args.pool_policy,
+        placement_policy=args.placement_policy,
     )
     if args.wear > 0:
         result = run_wearing_benchmark(config, mean_writes=args.wear, tracer=tracer)

@@ -132,10 +132,15 @@ class ImmixCollector:
         config: Optional[ImmixConfig] = None,
         stats: Optional[GcStats] = None,
         factory=None,
+        placement=None,
     ) -> None:
         self.supply = supply
         self.geometry = geometry
         self.config = config or ImmixConfig()
+        #: Large-object placement policy (:mod:`repro.policies`); None
+        #: is the paper's placement (every large object demands perfect
+        #: pages unless the global arraylets flag is on).
+        self.placement = placement
         self.stats = stats or GcStats()
         self.los = LargeObjectSpace(supply, geometry)
         #: Whole-heap line-state arrays; every block is a segment view.
@@ -173,6 +178,15 @@ class ImmixCollector:
         self._line_size = self.geometry.immix_line
         self._generational = self.config.generational
         self._collect_before_perfect = self.config.collect_before_perfect
+        # None when the policy can never divert an object — the default
+        # large path then skips the policy call entirely (bit-identical
+        # to the pre-policy fast path).
+        placement = self.placement
+        self._tolerant_large = (
+            placement.tolerant_large
+            if placement is not None and placement.needs_arraylets
+            else None
+        )
 
     def __getstate__(self) -> dict:
         """Snapshot support: heap structure persists, wiring does not."""
@@ -232,6 +246,15 @@ class ImmixCollector:
 
     def _alloc_large(self, obj: SimObject, allow_borrow: bool = True) -> bool:
         if self.config.arraylets and self.factory is not None:
+            return self._alloc_arraylets(obj, allow_perfect=allow_borrow)
+        if (
+            self._tolerant_large is not None
+            and self.factory is not None
+            and self._tolerant_large(obj)
+        ):
+            # HRM-style split: error-tolerant large objects shatter into
+            # line-space arraylets (no perfect pages anywhere); strict
+            # objects fall through to the perfect-page LOS below.
             return self._alloc_arraylets(obj, allow_perfect=allow_borrow)
         if not self.los.allocate(obj, allow_borrow=allow_borrow):
             return False

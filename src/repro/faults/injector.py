@@ -41,6 +41,15 @@ class FaultInjector:
     seed:
         Seed for map generation; vary per invocation like the paper's
         20 invocations per benchmark.
+    wear_policy:
+        A :class:`~repro.policies.wear.WearLevelingPolicy` whose
+        ``transform_static_map`` reshapes the generated map *before*
+        injection — decoder remapping happens below every other layer,
+        so the OS and runtime see one coherent post-remap view. None
+        means the paper's design (no transform).
+    pool_policy:
+        A :class:`~repro.policies.pool.PagePoolPolicy` threaded into
+        the OS page pools (supply order). None means the paper's.
     """
 
     def __init__(
@@ -51,10 +60,14 @@ class FaultInjector:
         dram_pages: int = 64,
         seed: int = 0,
         pcm: Optional[PcmModule] = None,
+        wear_policy=None,
+        pool_policy=None,
     ) -> None:
         self.model = model
         self.geometry = geometry or (pcm.geometry if pcm else Geometry())
         self.seed = seed
+        self.wear_policy = wear_policy
+        self.pool_policy = pool_policy
         if pcm is not None:
             # An existing (possibly already worn) module: lifetime
             # experiments thread one module through many iterations.
@@ -66,9 +79,19 @@ class FaultInjector:
                 geometry=self.geometry,
                 clustering_enabled=model.hw_region_pages > 0,
             )
-            self.static_map = model.build(self.pcm.n_lines, self.geometry, seed)
+            static_map = model.build(self.pcm.n_lines, self.geometry, seed)
+            if wear_policy is not None:
+                static_map = wear_policy.transform_static_map(
+                    static_map, self.geometry, seed
+                )
+            self.static_map = static_map
             self.pcm.inject_static_failures(self.static_map.failed_lines)
-        self.os = OsMemoryManager(self.pcm, dram_pages=dram_pages, geometry=self.geometry)
+        self.os = OsMemoryManager(
+            self.pcm,
+            dram_pages=dram_pages,
+            geometry=self.geometry,
+            pool_policy=pool_policy,
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -49,11 +49,20 @@ class OsMemoryManager:
         pcm: PcmModule,
         dram_pages: int = 64,
         geometry: Optional[Geometry] = None,
+        pool_policy=None,
     ) -> None:
         self.geometry = geometry or pcm.geometry
         self.pcm = pcm
         self.n_pcm_pages = pcm.size_bytes // self.geometry.page
-        self.pools = PagePools(self.n_pcm_pages, dram_pages)
+        self.pool_policy = pool_policy
+        self.pools = PagePools(
+            self.n_pcm_pages,
+            dram_pages,
+            supply_order=(
+                pool_policy.supply_order if pool_policy is not None
+                else "imperfect-first"
+            ),
+        )
         self.failure_table = FailureTable(self.n_pcm_pages, self.geometry)
         self._handler: Optional[FailureHandler] = None
         self._owners: Dict[int, str] = {}

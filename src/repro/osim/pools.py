@@ -19,9 +19,23 @@ from .page import PageKind, PhysicalPage
 class PagePools:
     """Free-page pools plus the universe of page descriptors."""
 
-    def __init__(self, n_pcm_pages: int, n_dram_pages: int = 0) -> None:
+    #: Valid ``supply_order`` spellings for :meth:`take_any_pcm`.
+    SUPPLY_ORDERS = ("imperfect-first", "perfect-first")
+
+    def __init__(
+        self,
+        n_pcm_pages: int,
+        n_dram_pages: int = 0,
+        supply_order: str = "imperfect-first",
+    ) -> None:
         if n_pcm_pages < 0 or n_dram_pages < 0:
             raise ValueError("page counts must be >= 0")
+        if supply_order not in self.SUPPLY_ORDERS:
+            raise ValueError(
+                f"unknown supply_order {supply_order!r}; "
+                f"choose from {self.SUPPLY_ORDERS}"
+            )
+        self.supply_order = supply_order
         self.pages: Dict[int, PhysicalPage] = {}
         self._perfect: Deque[int] = deque()
         self._imperfect: Deque[int] = deque()
@@ -72,11 +86,20 @@ class PagePools:
         return self._take(self._dram.popleft())
 
     def take_any_pcm(self) -> PhysicalPage:
-        """Any PCM page, imperfect preferred (they are less precious)."""
-        if self._imperfect:
-            return self._take(self._imperfect.popleft())
-        if self._perfect:
-            return self._take(self._perfect.popleft())
+        """Any PCM page, in the pool policy's supply order.
+
+        The paper supplies imperfect pages first (they are less
+        precious); MigrantStore-style policies invert the order so data
+        lands on reliable frames by default.
+        """
+        if self.supply_order == "perfect-first":
+            first, second = self._perfect, self._imperfect
+        else:
+            first, second = self._imperfect, self._perfect
+        if first:
+            return self._take(first.popleft())
+        if second:
+            return self._take(second.popleft())
         raise OutOfMemoryError("no PCM page available")
 
     def take_imperfect(self) -> Optional[PhysicalPage]:

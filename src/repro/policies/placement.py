@@ -1,0 +1,83 @@
+"""Runtime-layer data-placement policies.
+
+A placement policy decides which allocations may land on imperfect
+memory. The seam sits in the collector's large-object path — small and
+medium objects already flow around failed lines naturally, so the
+interesting decision is what to do with objects big enough to need
+contiguous space:
+
+* ``paper`` — section 3.3's runtime-aware placement: large objects go
+  to the large-object space on perfect pages (or, when the run enables
+  arraylets globally, all of them shatter into line-space chunks).
+* ``hrm`` — a Heterogeneous-Reliability-Memory-style split: a
+  deterministic fraction of large objects is classified error-tolerant
+  and routed through the existing arraylet machinery (line-space
+  chunks, zero perfect-page demand), while the strict remainder keeps
+  demanding perfect LOS pages. This interpolates between the paper's
+  two extremes on the perfect-page-demand axis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..heap.object_model import SimObject
+
+
+class PlacementPolicy:
+    """Interface: deterministic, stateless, picklable."""
+
+    #: Registry key; also the ``RunConfig.placement_policy`` spelling.
+    name = "paper"
+    #: True when any large object may take the arraylet (tolerant) path
+    #: even without the global ``arraylets`` flag — collectors without
+    #: an arraylet path must reject such policies up front.
+    needs_arraylets = False
+
+    def tolerant_large(self, obj: "SimObject") -> bool:
+        """May this large object live on imperfect lines?"""
+        return False
+
+    def describe(self) -> dict:
+        return {"name": self.name}
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class PaperPlacementPolicy(PlacementPolicy):
+    """The paper's placement: large objects demand perfect pages."""
+
+    name = "paper"
+
+
+class HrmPlacementPolicy(PlacementPolicy):
+    """HRM-style error-tolerance split for large objects.
+
+    Tolerance is a stable property of the object, not of the moment of
+    allocation: the classification hashes the object id, so the same
+    object makes the same choice on every allocation retry and on every
+    re-run of the same seed.
+    """
+
+    name = "hrm"
+    needs_arraylets = True
+
+    def __init__(self, tolerant_fraction: float = 0.5) -> None:
+        if not 0.0 <= tolerant_fraction <= 1.0:
+            raise ValueError("tolerant_fraction must be within [0, 1]")
+        self.tolerant_fraction = tolerant_fraction
+        self._threshold = int(tolerant_fraction * 2**32)
+
+    def tolerant_large(self, obj: "SimObject") -> bool:
+        return ((obj.oid * 2654435761) & 0xFFFFFFFF) < self._threshold
+
+    def describe(self) -> dict:
+        return {"name": self.name, "tolerant_fraction": self.tolerant_fraction}

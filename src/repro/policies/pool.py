@@ -1,0 +1,74 @@
+"""OS-layer page-pool policies.
+
+A pool policy decides how the OS ranks, supplies, and migrates
+perfect/imperfect frames. The seam is intentionally declarative — two
+knobs the OS and runtime consult rather than callbacks on the hot
+path — so the default spelling compiles to exactly the pre-policy
+behavior:
+
+* ``supply_order`` — which pool :meth:`~repro.osim.pools.PagePools.
+  take_any_pcm` drains first. The paper supplies imperfect frames
+  first (section 3.2: perfect pages are precious; give the runtime
+  holes, it knows how to use them).
+* ``retire_whole_pages`` — whether the runtime's failure view rounds
+  line failures up to whole frames. MigrantStore-style designs never
+  leave data on a damaged frame: any frame with a failed line is
+  migrated off and dropped from service entirely.
+"""
+
+from __future__ import annotations
+
+
+class PagePoolPolicy:
+    """Interface: deterministic, stateless, picklable."""
+
+    #: Registry key; also the ``RunConfig.pool_policy`` spelling.
+    name = "paper"
+    #: ``"imperfect-first"`` or ``"perfect-first"``.
+    supply_order = "imperfect-first"
+    #: Round line failures up to whole-frame retirement/migration.
+    retire_whole_pages = False
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "supply_order": self.supply_order,
+            "retire_whole_pages": self.retire_whole_pages,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class PaperPoolPolicy(PagePoolPolicy):
+    """The paper's supply order: imperfect frames first, holes and all."""
+
+    name = "paper"
+
+
+class MigrantPoolPolicy(PagePoolPolicy):
+    """MigrantStore-style migration: data never lives on damaged frames.
+
+    Two consequences, both honest to the design being modeled:
+
+    * the OS hands out pristine frames first (``perfect-first``) — the
+      migration store wants data on reliable media by default;
+    * any frame that develops (or arrives with) a failed line is
+      treated as wholly unusable: statically imperfect frames are
+      retired before mapping, and a dynamic failure migrates the whole
+      frame's contents away rather than patching around one line.
+
+    At low failure rates this looks clean; as the rate grows the
+    perfect-frame demand explodes — the contrast the policy-comparison
+    figure exists to show.
+    """
+
+    name = "migrant"
+    supply_order = "perfect-first"
+    retire_whole_pages = True

@@ -30,6 +30,7 @@ from ..hardware.geometry import Geometry
 from ..heap.object_model import ObjectFactory, SimObject
 from ..heap.page_supply import HeapPage, PageSupply
 from ..obs.trace import Tracer
+from ..policies import policy_triple
 from .time_model import DEFAULT_COST_MODEL, CostModel
 
 #: Collector selection strings, paper notation.
@@ -56,6 +57,12 @@ class VmConfig:
     #: Discontiguous arrays: place large objects as arraylets in line
     #: space instead of on perfect LOS pages (paper section 3.3.3).
     arraylets: bool = False
+    #: Policy seams (:mod:`repro.policies`): hardware wear leveling, OS
+    #: page-pool supply/migration, runtime large-object placement. The
+    #: defaults reproduce the paper's hard-coded design bit-identically.
+    wear_policy: str = "none"
+    pool_policy: str = "paper"
+    placement_policy: str = "paper"
     #: Heap-auditor level (:data:`repro.check.VERIFY_LEVELS`); None
     #: defers to the ``REPRO_VERIFY`` environment variable, defaulting
     #: to "off".
@@ -71,6 +78,20 @@ class VmConfig:
             )
         if self.heap_bytes <= 0:
             raise ConfigError("heap_bytes must be positive")
+        # Fail fast on unknown policy names and impossible pairings —
+        # a policy conflict discovered mid-run would waste the run.
+        wear, pool, placement = policy_triple(
+            self.wear_policy, self.pool_policy, self.placement_policy
+        )
+        if placement.needs_arraylets and self.collector in (
+            "marksweep",
+            "sticky-marksweep",
+        ):
+            raise ConfigError(
+                f"placement_policy {placement.name!r} needs the collector's "
+                f"arraylet path; collector {self.collector!r} has none "
+                f"(choose an immix collector)"
+            )
 
     def __getstate__(self) -> dict:
         """Snapshot support: a tracer is process wiring, not config."""
@@ -96,6 +117,15 @@ class VirtualMachine:
         self._roots: Dict[int, SimObject] = {}
         self._pending_failure_gc = False
         self._displaced: List[SimObject] = []
+        # Resolved policy objects travel with the machine (snapshots
+        # capture them); _retire_pages folds the DRAM-era flag and the
+        # MigrantStore-style pool policy into one whole-page switch.
+        self.wear_policy, self.pool_policy, self.placement_policy = policy_triple(
+            config.wear_policy, config.pool_policy, config.placement_policy
+        )
+        self._retire_pages = (
+            config.page_retirement or self.pool_policy.retire_whole_pages
+        )
         self.tracer = config.tracer
         if self.tracer is not None:
             # Simulated time is a pure function of the stats counters,
@@ -198,14 +228,17 @@ class VirtualMachine:
             pcm_bytes=pcm_bytes,
             geometry=self.geometry,
             seed=self.config.seed,
+            wear_policy=self.wear_policy,
+            pool_policy=self.pool_policy,
         )
 
     def _map_heap(self) -> List[HeapPage]:
         n_pages = self._raw_heap_bytes() // self.geometry.page
         os_pages = self.os.mmap_imperfect(n_pages, owner="runtime")
         failures = self.os.map_failures(os_pages)
-        if self.config.page_retirement:
-            # DRAM-era baseline: a page with any failed line is dead.
+        if self._retire_pages:
+            # Whole-page view (DRAM-era baseline, MigrantStore-style
+            # migration): a page with any failed line is dead.
             whole_page = frozenset(range(self.geometry.lines_per_page))
             failures = {
                 index: (whole_page if offsets else frozenset())
@@ -224,6 +257,7 @@ class VirtualMachine:
                     generational=name == "sticky-immix",
                     arraylets=self.config.arraylets,
                 ),
+                placement=self.placement_policy,
                 stats=self.stats,
                 factory=self.factory,
             )
@@ -339,9 +373,10 @@ class VirtualMachine:
         needs_gc = False
         for event in events:
             if isinstance(self.collector, ImmixCollector):
-                if self.config.page_retirement:
-                    # DRAM-style handling: every line of the page is
-                    # treated as failed, wasting the whole page.
+                if self._retire_pages:
+                    # Whole-page handling (DRAM retirement, MigrantStore
+                    # migration): every line of the page is treated as
+                    # failed, evacuating the whole page.
                     for offset in range(self.geometry.lines_per_page):
                         needs_gc |= self.collector.note_dynamic_failure(
                             event.page_index, offset

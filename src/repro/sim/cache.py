@@ -47,15 +47,30 @@ ORPHAN_MIN_AGE_S = 60.0
 # ----------------------------------------------------------------------
 # Serialization: RunConfig / RunResult <-> plain JSON dicts
 # ----------------------------------------------------------------------
+#: Policy fields are serialized only when non-default, so artifacts and
+#: cache keys of default-policy runs stay byte-identical to those the
+#: pre-policy code produced (the CI golden-artifact diff relies on it).
+_POLICY_DEFAULTS = {
+    "wear_policy": "none",
+    "pool_policy": "paper",
+    "placement_policy": "paper",
+}
+
+
 def config_to_dict(config: RunConfig) -> dict:
     data = dataclasses.asdict(config)
     # asdict already recursed into the frozen FailureModel dataclass.
+    for name, default in _POLICY_DEFAULTS.items():
+        if data.get(name) == default:
+            del data[name]
     return data
 
 
 def config_from_dict(data: dict) -> RunConfig:
     data = dict(data)
     data["failure_model"] = FailureModel(**data["failure_model"])
+    # Policy fields absent at defaults (see _POLICY_DEFAULTS); the
+    # dataclass defaults reconstruct them.
     return RunConfig(**data)
 
 

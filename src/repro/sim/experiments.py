@@ -522,6 +522,75 @@ def figure10(
 
 
 # ======================================================================
+# Policies: wear-management baselines on one failure-sweep axis
+# ======================================================================
+#: (label, RunConfig overrides) for every comparative baseline. The
+#: first entry is the paper's default triple; the rest swap exactly one
+#: policy seam so the figure isolates each axis (see repro.policies).
+POLICY_VARIANTS: Tuple[Tuple[str, Dict[str, str]], ...] = (
+    ("paper (none/paper/paper)", {}),
+    ("wolfram remap WL", {"wear_policy": "wolfram"}),
+    ("softwear rotation WL", {"wear_policy": "softwear"}),
+    ("migrant page pool", {"pool_policy": "migrant"}),
+    ("HRM placement", {"placement_policy": "hrm"}),
+)
+
+
+def policy_comparison(
+    runner: ExperimentRunner,
+    rates: Sequence[float] = (0.0, 0.10, 0.25, 0.50),
+    workloads: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> FigureResult:
+    """All wear-management policies on one failure-rate sweep (2x heap).
+
+    Every series normalizes against the same no-failure default-policy
+    baseline, so the default series reproduces figure 7's L256 curve and
+    the baselines read directly as relative overhead or benefit.
+    """
+    names = list(workloads or suite_names())
+    baseline = _baseline(scale)
+    _prefetch(
+        runner,
+        names,
+        [
+            replace(
+                baseline,
+                failure_model=FailureModel(rate=rate),
+                **overrides,
+            )
+            for _, overrides in POLICY_VARIANTS
+            for rate in rates
+        ]
+        + [baseline],
+    )
+    series: Dict[str, list] = {}
+    for label, overrides in POLICY_VARIANTS:
+        points = []
+        for rate in rates:
+            config = replace(
+                baseline, failure_model=FailureModel(rate=rate), **overrides
+            )
+            points.append(
+                (rate, runner.normalized_geomean(names, config, baseline))
+            )
+        series[label] = points
+    return FigureResult(
+        figure="Policies",
+        title="wear-management policy comparison, no clustering (2x heap)",
+        series=series,
+        x_label="failure rate",
+        y_label="time / default policies, no failures (geomean)",
+        notes=(
+            "each baseline swaps one policy seam vs the paper default: "
+            "wolfram = programmable-decoder line remap; softwear = "
+            "software region rotation; migrant = hot/cold whole-page "
+            "migration pool; HRM = error-tolerance placement split."
+        ),
+    )
+
+
+# ======================================================================
 # Section 4.2: full-heap collection pauses
 # ======================================================================
 def section42_pauses(

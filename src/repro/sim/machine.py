@@ -16,6 +16,7 @@ from ..faults.injector import FaultInjector
 from ..hardware.geometry import Geometry
 from ..hardware.pcm import EnduranceModel, PcmModule
 from ..obs.metrics import SNAPSHOT_CHECKPOINTS_TOTAL
+from ..policies import resolve_pool_policy, resolve_wear_policy
 from ..obs.trace import Tracer
 from ..runtime.time_model import DEFAULT_COST_MODEL, CostModel
 from ..runtime.vm import VirtualMachine, VmConfig
@@ -41,6 +42,11 @@ class RunConfig:
     seed: int = 0
     #: Scale factor on total allocation (quick benchmark modes).
     scale: float = 1.0
+    #: Policy seams (see :mod:`repro.policies`); the defaults reproduce
+    #: the paper's hard-coded design bit-identically.
+    wear_policy: str = "none"
+    pool_policy: str = "paper"
+    placement_policy: str = "paper"
 
     def geometry(self) -> Geometry:
         return Geometry(immix_line=self.immix_line, region_pages=self.region_pages)
@@ -133,6 +139,9 @@ def run_benchmark(
         compensate=config.compensate,
         arraylets=config.arraylets,
         seed=config.seed,
+        wear_policy=config.wear_policy,
+        pool_policy=config.pool_policy,
+        placement_policy=config.placement_policy,
         verify=verify,
         tracer=tracer,
     )
@@ -240,7 +249,14 @@ def _emit_checkpoint(
     checkpoint.checkpoint(
         (vm, driver, config),
         kind="bench",
-        meta={"workload": config.workload, "seed": config.seed, "step": steps},
+        meta={
+            "workload": config.workload,
+            "seed": config.seed,
+            "step": steps,
+            "wear_policy": config.wear_policy,
+            "pool_policy": config.pool_policy,
+            "placement_policy": config.placement_policy,
+        },
     )
     tr = vm.tracer
     if tr is not None:
@@ -288,18 +304,26 @@ def run_wearing_benchmark(
     raw = (heap + block - 1) // block * block
     region = geometry.region
     pcm_bytes = (raw + region - 1) // region * region + 4 * region
+    wear = resolve_wear_policy(config.wear_policy)
     pcm = PcmModule(
         size_bytes=pcm_bytes,
         geometry=geometry,
         endurance=EnduranceModel(mean_writes=mean_writes, cv=0.3, seed=config.seed),
         clustering_enabled=config.region_pages > 0,
+        wear_leveler=wear.build_leveler(geometry, config.seed),
         failure_buffer_capacity=128,
         seed=config.seed,
     )
     if config.failure_model.rate > 0.0:
         static_map = config.failure_model.build(pcm.n_lines, geometry, config.seed)
+        static_map = wear.transform_static_map(static_map, geometry, config.seed)
         pcm.inject_static_failures(static_map.failed_lines)
-    injector = FaultInjector(FailureModel(), geometry=geometry, pcm=pcm)
+    injector = FaultInjector(
+        FailureModel(),
+        geometry=geometry,
+        pcm=pcm,
+        pool_policy=resolve_pool_policy(config.pool_policy),
+    )
     vm_config = VmConfig(
         heap_bytes=heap,
         geometry=geometry,
@@ -308,6 +332,9 @@ def run_wearing_benchmark(
         compensate=False,
         arraylets=config.arraylets,
         seed=config.seed,
+        wear_policy=config.wear_policy,
+        pool_policy=config.pool_policy,
+        placement_policy=config.placement_policy,
         verify=verify,
         tracer=tracer,
     )

@@ -30,8 +30,9 @@ Expansion rules
   cell order and a bit-identical ``BENCH_sweep.json`` results section.
 * An axis named after a cell field (``workload``, ``rate``, ``heap``,
   ``line``, ``collector``, ``clustering``, ``cluster_bytes``,
-  ``compensate``, ``arraylets``, ``seed``, ``scale``) sets that field
-  directly in every cell.
+  ``compensate``, ``arraylets``, ``seed``, ``scale``, ``wear_policy``,
+  ``pool_policy``, ``placement_policy``) sets that field directly in
+  every cell.
 * Any other axis is a *free placeholder* and must be referenced from
   ``defaults`` as ``"{name}"`` (exact match substitutes the typed
   value; embedded in a longer string it substitutes as text). A free
@@ -68,6 +69,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import PlanError
 from ..faults.generator import FailureModel
+from ..policies import PLACEMENT_POLICIES, POOL_POLICIES, WEAR_POLICIES
 from ..workloads.dacapo import BY_NAME
 from .cache import ResultCache
 from .machine import RunConfig
@@ -85,7 +87,7 @@ COLLECTORS = ("immix", "sticky-immix", "marksweep", "sticky-marksweep")
 #: ``tests/sim/test_plan.py`` asserts the two stay in sync).
 KNOWN_FIGURES = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "pauses", "headline",
+    "pauses", "headline", "policies",
 )
 
 #: Maximum include nesting (cycles are detected separately; this bounds
@@ -176,6 +178,23 @@ def _check_scale(value: Any) -> Optional[str]:
     return None
 
 
+def _policy_checker(registry: Dict[str, Any], axis: str):
+    def check(value: Any) -> Optional[str]:
+        if not isinstance(value, str) or value not in registry:
+            return (
+                f"unknown {axis} {value!r}; "
+                f"available: {', '.join(sorted(registry))}"
+            )
+        return None
+
+    return check
+
+
+_check_wear_policy = _policy_checker(WEAR_POLICIES, "wear_policy")
+_check_pool_policy = _policy_checker(POOL_POLICIES, "pool_policy")
+_check_placement_policy = _policy_checker(PLACEMENT_POLICIES, "placement_policy")
+
+
 #: field name -> (validator, built-in default). The defaults mirror the
 #: ``sweep`` subcommand's flag defaults so a plan spelling that grid is
 #: cell-for-cell identical to the flag spelling.
@@ -191,6 +210,9 @@ CELL_FIELDS: Dict[str, Tuple[Any, Any]] = {
     "arraylets": (_check_bool, False),
     "seed": (_check_seed, 0),
     "scale": (_check_scale, 0.35),
+    "wear_policy": (_check_wear_policy, "none"),
+    "pool_policy": (_check_pool_policy, "paper"),
+    "placement_policy": (_check_placement_policy, "paper"),
 }
 
 
@@ -210,6 +232,9 @@ def cell_to_config(cell: Dict[str, Any]) -> RunConfig:
         arraylets=cell["arraylets"],
         seed=cell["seed"],
         scale=float(cell["scale"]),
+        wear_policy=cell["wear_policy"],
+        pool_policy=cell["pool_policy"],
+        placement_policy=cell["placement_policy"],
     )
 
 
@@ -242,6 +267,15 @@ def cell_slug(config: RunConfig) -> str:
         parts.append("nocomp")
     if config.arraylets:
         parts.append("al")
+    # Policy parts are conditional like the other off-by-default
+    # dimensions: default-policy slugs stay byte-identical to the
+    # pre-policy spellings (resume/trace paths key files on them).
+    if config.wear_policy != "none":
+        parts.append(f"wl-{config.wear_policy}")
+    if config.pool_policy != "paper":
+        parts.append(f"pp-{config.pool_policy}")
+    if config.placement_policy != "paper":
+        parts.append(f"pl-{config.placement_policy}")
     return "_".join(parts)
 
 
@@ -626,6 +660,22 @@ def precheck(
         cell_problems: List[PlanProblem] = []
         for fname, fvalue in cell.items():
             _validate_field(fname, fvalue, f"cells[{index}].{fname}", cell_problems)
+        if not cell_problems:
+            placement_cls = PLACEMENT_POLICIES.get(cell["placement_policy"])
+            if (
+                placement_cls is not None
+                and placement_cls.needs_arraylets
+                and cell["collector"] in ("marksweep", "sticky-marksweep")
+            ):
+                cell_problems.append(
+                    PlanProblem(
+                        f"cells[{index}].placement_policy",
+                        f"placement_policy {cell['placement_policy']!r} needs "
+                        f"the collector's arraylet path; collector "
+                        f"{cell['collector']!r} has none (choose an immix "
+                        f"collector)",
+                    )
+                )
         if cell_problems:
             problems.extend(cell_problems)
             continue
@@ -713,6 +763,9 @@ def dry_run_payload(
                 "arraylets": config.arraylets,
                 "seed": config.seed,
                 "scale": config.scale,
+                "wear_policy": config.wear_policy,
+                "pool_policy": config.pool_policy,
+                "placement_policy": config.placement_policy,
                 "cached": hit,
             }
             for index, (config, hit) in enumerate(zip(plan.cells, cached))

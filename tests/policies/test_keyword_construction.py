@@ -1,0 +1,72 @@
+"""Guard: ``RunConfig``/``VmConfig`` are constructed by keyword only.
+
+The policy refactor appended three fields to ``RunConfig``; any
+*positional* construction site would have silently shifted argument
+meaning. All sites in ``scripts/``, ``examples/``, ``src/``, and
+``tests/`` were converted to (or already used) keyword form — this AST
+scan keeps it that way, failing with the offending file:line if a
+positional call ever reappears.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCANNED_DIRS = ("scripts", "examples", "src", "tests")
+GUARDED_NAMES = {"RunConfig", "VmConfig"}
+
+
+def _call_name(node: ast.Call):
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def positional_call_sites():
+    sites = []
+    for directory in SCANNED_DIRS:
+        root = REPO_ROOT / directory
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) in GUARDED_NAMES
+                    and node.args
+                ):
+                    sites.append(
+                        f"{path.relative_to(REPO_ROOT)}:{node.lineno} "
+                        f"passes {len(node.args)} positional argument(s) "
+                        f"to {_call_name(node)}"
+                    )
+    return sites
+
+
+def test_config_dataclasses_are_constructed_by_keyword():
+    sites = positional_call_sites()
+    assert not sites, (
+        "positional config construction would shift meaning when fields "
+        "are appended:\n" + "\n".join(sites)
+    )
+
+
+def test_guard_scans_real_construction_sites():
+    """The scan must actually see the known call sites (not rot silently)."""
+    seen = set()
+    for directory in SCANNED_DIRS:
+        root = REPO_ROOT / directory
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Call) and _call_name(node) in GUARDED_NAMES:
+                    seen.add(directory)
+    assert {"scripts", "examples", "src", "tests"} <= seen

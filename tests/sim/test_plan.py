@@ -429,3 +429,133 @@ class TestShippedPlans:
             for rate in (0.0, 0.1)
         ]
         assert plan.cells == flag_grid
+
+
+class TestPolicyPrecheck:
+    """Precheck coverage for the policy seams (wear/pool/placement)."""
+
+    def test_unknown_policy_names_reported(self):
+        problems, expanded = precheck(
+            doc(
+                defaults={"workload": "luindex", "wear_policy": "startgap"},
+                axes={"pool_policy": ["paper", "nosuch"]},
+            )
+        )
+        assert expanded is None
+        assert any(
+            "unknown wear_policy 'startgap'" in p.message for p in problems
+        )
+        assert any("unknown pool_policy 'nosuch'" in p.message for p in problems)
+
+    def test_placement_collector_conflict_reported_with_cell_index(self):
+        problems, expanded = precheck(
+            doc(
+                defaults={"workload": "luindex", "placement_policy": "hrm"},
+                axes={"collector": ["sticky-immix", "marksweep"]},
+            )
+        )
+        assert expanded is None
+        conflicts = [p for p in problems if "arraylet path" in p.message]
+        assert len(conflicts) == 1
+        assert conflicts[0].where == "cells[1].placement_policy"
+
+    def test_all_policy_problems_in_one_pass(self):
+        # A bad name, a conflict, and a bad rate must all surface in a
+        # single precheck, not one per run attempt.
+        problems, expanded = precheck(
+            doc(
+                defaults={
+                    "workload": "luindex",
+                    "rate": 7,
+                    "wear_policy": "bogus",
+                },
+                axes={
+                    "collector": ["marksweep"],
+                    "placement_policy": ["hrm"],
+                },
+            )
+        )
+        assert expanded is None
+        assert any("unknown wear_policy" in p.message for p in problems)
+        assert any("outside [0, 1]" in p.message for p in problems)
+
+    def test_placeholder_substitution_into_policy_axes(self):
+        plan = expand(
+            doc(
+                defaults={"workload": "luindex", "wear_policy": "{w}"},
+                axes={"w": ["none", "wolfram", "softwear"]},
+            )
+        )
+        assert [c.wear_policy for c in plan.cells] == [
+            "none",
+            "wolfram",
+            "softwear",
+        ]
+
+    def test_substituted_policy_values_revalidated(self):
+        problems, expanded = precheck(
+            doc(
+                defaults={"workload": "luindex", "pool_policy": "{p}"},
+                axes={"p": ["paper", "migrnat"]},
+            )
+        )
+        assert expanded is None
+        assert any(
+            "unknown pool_policy 'migrnat'" in p.message for p in problems
+        )
+
+    def test_mapping_valued_policy_axis(self):
+        # The plans/policy_comparison.yaml idiom: one free axis whose
+        # mapping values swap a single policy seam per variant.
+        plan = expand(
+            doc(
+                defaults={"workload": "luindex"},
+                axes={
+                    "policy": [
+                        {},
+                        {"wear_policy": "wolfram"},
+                        {"pool_policy": "migrant"},
+                        {"placement_policy": "hrm"},
+                    ]
+                },
+            )
+        )
+        triples = [
+            (c.wear_policy, c.pool_policy, c.placement_policy)
+            for c in plan.cells
+        ]
+        assert triples == [
+            ("none", "paper", "paper"),
+            ("wolfram", "paper", "paper"),
+            ("none", "migrant", "paper"),
+            ("none", "paper", "hrm"),
+        ]
+
+    def test_policy_slug_parts(self):
+        default = RunConfig(workload="luindex")
+        assert "wl-" not in cell_slug(default)
+        assert "pp-" not in cell_slug(default)
+        assert "pl-" not in cell_slug(default)
+        varied = RunConfig(
+            workload="luindex",
+            wear_policy="softwear",
+            pool_policy="migrant",
+            placement_policy="hrm",
+        )
+        slug = cell_slug(varied)
+        assert slug.endswith("_wl-softwear_pp-migrant_pl-hrm")
+
+    def test_dry_run_payload_carries_policy_fields(self):
+        payload = dry_run_payload(
+            expand(
+                doc(
+                    defaults={"workload": "luindex"},
+                    axes={"wear_policy": ["none", "wolfram"]},
+                )
+            )
+        )
+        assert [c["wear_policy"] for c in payload["cell_list"]] == [
+            "none",
+            "wolfram",
+        ]
+        assert all(c["pool_policy"] == "paper" for c in payload["cell_list"])
